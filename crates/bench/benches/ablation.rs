@@ -1,0 +1,95 @@
+//! Ablation benches for DESIGN.md's called-out design choices: the
+//! convolution impulse cap (accuracy-vs-speed knob) and the filter chain's
+//! overhead on top of a bare heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ecds_core::{FilterVariant, LightestLoad, MinimumExpectedCompletionTime, Scheduler};
+use ecds_pmf::ReductionPolicy;
+use ecds_sim::{Scenario, Simulation};
+
+/// How much does the impulse cap cost/save on a whole trial? (Allocation
+/// *quality* under the cap is measured by `ablations impulse-cap`.)
+fn bench_impulse_cap(c: &mut Criterion) {
+    let scenario = Scenario::small_for_tests(1353);
+    let trace = scenario.trace(0);
+    let budget = scenario.energy_budget().unwrap();
+    let mut group = c.benchmark_group("ablation_impulse_cap");
+    group.sample_size(10);
+    for cap in [4usize, 8, 24, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut sched = Scheduler::new(
+                    Box::new(LightestLoad),
+                    FilterVariant::EnergyAndRobustness.build(),
+                    budget,
+                    ReductionPolicy::new(cap),
+                );
+                black_box(Simulation::new(&scenario, &trace).run(&mut sched).missed())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Overhead of the filter chain relative to a bare heuristic.
+fn bench_filter_overhead(c: &mut Criterion) {
+    let scenario = Scenario::small_for_tests(1353);
+    let trace = scenario.trace(0);
+    let budget = scenario.energy_budget().unwrap();
+    let mut group = c.benchmark_group("ablation_filter_overhead");
+    group.sample_size(10);
+    for variant in FilterVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let mut sched = Scheduler::new(
+                        Box::new(MinimumExpectedCompletionTime),
+                        variant.build(),
+                        budget,
+                        ReductionPolicy::default(),
+                    );
+                    black_box(Simulation::new(&scenario, &trace).run(&mut sched).missed())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cost of the idle-downshift bookkeeping (extra transition records).
+fn bench_idle_policy(c: &mut Criterion) {
+    let parked = Scenario::small_for_tests(1353);
+    let mut linger_cfg = *parked.sim_config();
+    linger_cfg.idle_downshift = None;
+    let linger = parked.with_sim_config(linger_cfg);
+    let trace = parked.trace(0);
+    let budget = parked.energy_budget().unwrap();
+    let mut group = c.benchmark_group("ablation_idle_policy");
+    group.sample_size(10);
+    for (name, scenario) in [("downshift", &parked), ("linger", &linger)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), scenario, |b, scenario| {
+            b.iter(|| {
+                let mut sched = Scheduler::new(
+                    Box::new(MinimumExpectedCompletionTime),
+                    FilterVariant::EnergyAndRobustness.build(),
+                    budget,
+                    ReductionPolicy::default(),
+                );
+                black_box(Simulation::new(scenario, &trace).run(&mut sched).missed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_impulse_cap,
+    bench_filter_overhead,
+    bench_idle_policy
+);
+criterion_main!(ablation);

@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the hot paths: pmf algebra (the paper notes
+//! convolution overhead "can be negligible if task execution times are
+//! sufficiently long"), candidate evaluation, and the robustness
+//! calculation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ecds_core::{system_robustness, CandidateEvaluator};
+use ecds_pmf::{Gamma, Pmf, ReductionPolicy, SeedDerive};
+use ecds_sim::{CoreState, ExecutingTask, QueuedTask, Scenario, SystemView};
+use ecds_workload::{Task, TaskId, TaskTypeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gamma_pmf(mean: f64, impulses: usize) -> Pmf {
+    let gamma = Gamma::from_mean_cv(mean, 0.2);
+    let mut rng = StdRng::seed_from_u64(7);
+    ecds_pmf::empirical_pmf(
+        &mut rng,
+        ecds_pmf::SamplePmfConfig::new(impulses * 10, impulses),
+        |r| gamma.sample(r),
+    )
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf_convolve");
+    for impulses in [8usize, 16, 24, 48] {
+        let a = gamma_pmf(750.0, impulses);
+        let b = gamma_pmf(900.0, impulses);
+        group.bench_with_input(BenchmarkId::from_parameter(impulses), &impulses, |bch, _| {
+            bch.iter(|| black_box(a.convolve(&b, ReductionPolicy::new(impulses))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncate(c: &mut Criterion) {
+    let p = gamma_pmf(750.0, 24).shift(100.0);
+    c.bench_function("pmf_truncate_renormalize", |b| {
+        b.iter(|| black_box(p.truncate_below(black_box(750.0))))
+    });
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let p = gamma_pmf(750.0, 24);
+    c.bench_function("pmf_quantile", |b| {
+        b.iter(|| black_box(p.quantile(black_box(0.73)).unwrap()))
+    });
+}
+
+fn busy_view_fixture() -> (Scenario, Vec<CoreState>) {
+    let scenario = Scenario::small_for_tests(3);
+    let mut cores = vec![CoreState::new(); scenario.cluster().total_cores()];
+    for (i, core) in cores.iter_mut().enumerate() {
+        core.start(ExecutingTask {
+            task: TaskId(i),
+            type_id: TaskTypeId(i % 10),
+            pstate: ecds_cluster::PState::P1,
+            start: 0.0,
+            deadline: 4000.0,
+        });
+        core.enqueue(QueuedTask {
+            task: TaskId(100 + i),
+            type_id: TaskTypeId((i + 3) % 10),
+            pstate: ecds_cluster::PState::P2,
+            deadline: 6000.0,
+        });
+    }
+    (scenario, cores)
+}
+
+fn bench_candidate_evaluation(c: &mut Criterion) {
+    let (scenario, cores) = busy_view_fixture();
+    let view = SystemView::new(scenario.cluster(), scenario.table(), &cores, 500.0, 10, 60);
+    let task = Task {
+        id: TaskId(50),
+        type_id: TaskTypeId(5),
+        arrival: 500.0,
+        deadline: 3000.0,
+        quantile: 0.5,
+    };
+    let evaluator = CandidateEvaluator::default();
+    c.bench_function("evaluate_all_candidates", |b| {
+        b.iter(|| black_box(evaluator.evaluate_all(&view, &task)))
+    });
+}
+
+fn bench_system_robustness(c: &mut Criterion) {
+    let (scenario, cores) = busy_view_fixture();
+    let view = SystemView::new(scenario.cluster(), scenario.table(), &cores, 500.0, 10, 60);
+    c.bench_function("system_robustness", |b| {
+        b.iter(|| black_box(system_robustness(&view, ReductionPolicy::default())))
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let scenario = Scenario::small_for_tests(3);
+    c.bench_function("trace_generation", |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            black_box(scenario.trace(trial))
+        })
+    });
+}
+
+fn bench_seed_derivation(c: &mut Criterion) {
+    let seeds = SeedDerive::new(42);
+    c.bench_function("seed_derivation", |b| {
+        b.iter(|| black_box(seeds.seed(ecds_pmf::Stream::Quantiles, black_box(17), black_box(3))))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_convolution,
+    bench_truncate,
+    bench_quantile,
+    bench_candidate_evaluation,
+    bench_system_robustness,
+    bench_trace_generation,
+    bench_seed_derivation,
+);
+criterion_main!(micro);

@@ -1,0 +1,106 @@
+//! A tiny work-stealing-free parallel map over an index range.
+//!
+//! Simulation trials are embarrassingly parallel and read-only over the
+//! scenario, so `std::thread::scope` plus an atomic work index is all the
+//! machinery needed (no extra runtime dependencies; see the workspace
+//! dependency policy in DESIGN.md §6). Results arrive in index order
+//! regardless of scheduling, so output is deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `work` to every index in `0..count` across `threads` OS threads
+/// and returns the results in index order.
+///
+/// `work` must be safe to call concurrently from multiple threads (`Sync`);
+/// each invocation gets a distinct index exactly once.
+pub fn run_parallel<T, F>(count: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    if count == 0 {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    let workers = threads.min(count);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= count {
+                        break;
+                    }
+                    local.push((idx, work(idx)));
+                }
+                results
+                    .lock()
+                    .expect("worker panicked while holding results")
+                    .extend(local);
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("no poisoned lock after scope");
+    collected.sort_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(collected.len(), count);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_every_index_in_order() {
+        let out = run_parallel(100, 4, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = run_parallel(10, 1, |i| i + 1);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let out = run_parallel(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_count_returns_empty() {
+        let out: Vec<usize> = run_parallel(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let a = run_parallel(50, 1, |i| i * i);
+        let b = run_parallel(50, 8, |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = run_parallel(1, 0, |i| i);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

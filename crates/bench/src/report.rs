@@ -1,0 +1,238 @@
+//! Figure rendering: each paper figure as ASCII box plots, a markdown
+//! table, and CSV.
+
+use ecds_core::{FilterVariant, HeuristicKind};
+use ecds_stats::{
+    improvement_pct, mann_whitney_u, render_boxplots, CsvWriter, MarkdownTable,
+};
+
+use crate::experiment::{CellResult, ExperimentGrid};
+
+/// Width of rendered ASCII box plots.
+const PLOT_WIDTH: usize = 64;
+
+/// Renders one heuristic's figure (Figures 2–5): four filter variants of
+/// `kind` as box plots plus a summary table.
+pub fn render_heuristic_figure(grid: &ExperimentGrid, kind: HeuristicKind) -> String {
+    let cells = grid.heuristic_row(kind);
+    render_cells(
+        &format!(
+            "Missed deadlines over {} trials — {} heuristic, all filter variants",
+            grid.config.trials,
+            kind.label()
+        ),
+        &cells,
+    )
+}
+
+/// Renders Figure 6: the best variant of every heuristic side by side.
+pub fn render_best_figure(grid: &ExperimentGrid) -> String {
+    let cells = grid.best_per_heuristic();
+    render_cells(
+        &format!(
+            "Missed deadlines over {} trials — best variant of each heuristic",
+            grid.config.trials
+        ),
+        &cells,
+    )
+}
+
+fn render_cells(title: &str, cells: &[&CellResult]) -> String {
+    let series: Vec<(String, ecds_stats::BoxStats)> = cells
+        .iter()
+        .map(|c| (c.label(), c.stats()))
+        .collect();
+    let mut table = MarkdownTable::new(&[
+        "variant", "median", "mean", "q1", "q3", "whisker-", "whisker+", "min", "max",
+    ]);
+    for cell in cells {
+        let s = cell.stats();
+        table.push_row(vec![
+            cell.label(),
+            format!("{:.1}", s.median),
+            format!("{:.1}", s.mean),
+            format!("{:.1}", s.q1),
+            format!("{:.1}", s.q3),
+            format!("{:.1}", s.whisker_lo),
+            format!("{:.1}", s.whisker_hi),
+            format!("{:.1}", s.min),
+            format!("{:.1}", s.max),
+        ]);
+    }
+    format!(
+        "## {title}\n\n{}\n{}",
+        render_boxplots(&series, PLOT_WIDTH),
+        table.render()
+    )
+}
+
+/// The Sec. VII headline analysis: filtering improvements per heuristic,
+/// the energy-filter anomaly on Random, and the Random-vs-LL gap.
+pub fn render_headline_analysis(grid: &ExperimentGrid) -> String {
+    let mut out = String::from("## Headline comparisons (paper Sec. VII)\n\n");
+    for kind in &grid.config.kinds {
+        let Some(none) = grid.cell(*kind, FilterVariant::None) else {
+            continue;
+        };
+        let base = none.median_missed();
+        for variant in [
+            FilterVariant::Energy,
+            FilterVariant::Robustness,
+            FilterVariant::EnergyAndRobustness,
+        ] {
+            let Some(cell) = grid.cell(*kind, variant) else {
+                continue;
+            };
+            let med = cell.median_missed();
+            let rel = improvement_pct(base, med)
+                .map(|p| format!("{p:+.1}% vs unfiltered"))
+                .unwrap_or_else(|| "baseline zero".to_string());
+            // The paper quotes improvements as percentage points of the
+            // window as well; report both conventions, plus a rank-sum
+            // significance check against the unfiltered distribution.
+            let window_pts = (base - med) / grid_window(grid) * 100.0;
+            let sig = mann_whitney_u(&cell.missed, &none.missed)
+                .map(|t| {
+                    if t.p_two_sided < 0.001 {
+                        "p<0.001".to_string()
+                    } else {
+                        format!("p={:.3}", t.p_two_sided)
+                    }
+                })
+                .unwrap_or_else(|| "p=?".to_string());
+            out.push_str(&format!(
+                "- {}: median {:.1} ({rel}; {window_pts:+.2} window pts; {sig})\n",
+                cell.label(),
+                med
+            ));
+        }
+    }
+    // Random en+rob vs best LL — the "filters drive performance" point.
+    if let (Some(rand), Some(ll)) = (
+        grid.cell(HeuristicKind::Random, FilterVariant::EnergyAndRobustness),
+        grid.cell(HeuristicKind::LightestLoad, FilterVariant::EnergyAndRobustness),
+    ) {
+        if ll.median_missed() > 0.0 {
+            let gap =
+                (rand.median_missed() - ll.median_missed()) / grid_window(grid) * 100.0;
+            out.push_str(&format!(
+                "- Random/en+rob is {gap:.1} window pts from LL/en+rob (paper: ~4%)\n"
+            ));
+        }
+    }
+    out
+}
+
+fn grid_window(grid: &ExperimentGrid) -> f64 {
+    grid.window as f64
+}
+
+/// Serializes every cell's raw per-trial data as CSV
+/// (`heuristic,variant,trial,missed,energy,discarded`).
+pub fn grid_csv(grid: &ExperimentGrid) -> String {
+    let mut csv = CsvWriter::new();
+    csv.write_row(&["heuristic", "variant", "trial", "missed", "energy", "discarded"]);
+    for cell in &grid.cells {
+        for (trial, ((missed, energy), discarded)) in cell
+            .missed
+            .iter()
+            .zip(&cell.energy)
+            .zip(&cell.discarded)
+            .enumerate()
+        {
+            csv.write_row(&[
+                cell.kind.label().to_string(),
+                cell.variant.label().to_string(),
+                trial.to_string(),
+                format!("{missed}"),
+                format!("{energy:.3}"),
+                format!("{discarded}"),
+            ]);
+        }
+    }
+    csv.into_string()
+}
+
+/// Renders the complete report: Figures 2–6 plus the headline analysis.
+pub fn render_full_report(grid: &ExperimentGrid) -> String {
+    let mut out = String::new();
+    let figures = [
+        (HeuristicKind::ShortestQueue, "Figure 2"),
+        (HeuristicKind::Mect, "Figure 3"),
+        (HeuristicKind::LightestLoad, "Figure 4"),
+        (HeuristicKind::Random, "Figure 5"),
+    ];
+    for (kind, fig) in figures {
+        if grid.config.kinds.contains(&kind) {
+            out.push_str(&format!("# {fig}\n\n"));
+            out.push_str(&render_heuristic_figure(grid, kind));
+            out.push('\n');
+        }
+    }
+    out.push_str("# Figure 6\n\n");
+    out.push_str(&render_best_figure(grid));
+    out.push('\n');
+    out.push_str(&render_headline_analysis(grid));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use ecds_sim::Scenario;
+
+    fn grid() -> &'static ExperimentGrid {
+        use std::sync::OnceLock;
+        static GRID: OnceLock<ExperimentGrid> = OnceLock::new();
+        GRID.get_or_init(|| {
+            let scenario = Scenario::small_for_tests(11);
+            ExperimentGrid::run(ExperimentConfig::smoke(11, 2), &scenario)
+        })
+    }
+
+    #[test]
+    fn heuristic_figure_contains_all_variants() {
+        let g = grid();
+        let fig = render_heuristic_figure(g, HeuristicKind::Mect);
+        for v in ["MECT/none", "MECT/en", "MECT/rob", "MECT/en+rob"] {
+            assert!(fig.contains(v), "missing {v}");
+        }
+        assert!(fig.contains("median"));
+    }
+
+    #[test]
+    fn best_figure_has_one_row_per_heuristic() {
+        let g = grid();
+        let fig = render_best_figure(g);
+        for h in ["SQ/", "MECT/", "LL/", "Random/"] {
+            assert!(fig.contains(h), "missing {h}");
+        }
+    }
+
+    #[test]
+    fn csv_has_row_per_cell_trial() {
+        let g = grid();
+        let csv = grid_csv(g);
+        // header + 16 cells × 2 trials.
+        assert_eq!(csv.lines().count(), 1 + 32);
+        assert!(csv.starts_with("heuristic,variant,trial"));
+    }
+
+    #[test]
+    fn full_report_mentions_every_figure() {
+        let g = grid();
+        let report = render_full_report(g);
+        for fig in ["Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6"] {
+            assert!(report.contains(fig));
+        }
+        assert!(report.contains("Headline comparisons"));
+    }
+
+    #[test]
+    fn headline_analysis_handles_small_grids() {
+        let g = grid();
+        let text = render_headline_analysis(g);
+        assert!(text.contains("vs unfiltered") || text.contains("baseline zero"));
+    }
+}

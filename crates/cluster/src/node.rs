@@ -1,0 +1,138 @@
+//! A single compute node: processor/core counts, P-state ladder, power
+//! profile, and power-supply efficiency.
+
+use crate::power::PowerProfile;
+use crate::pstate::{PState, PStateLadder};
+
+/// Specification of one compute node (paper Fig. 1 level 2).
+///
+/// Node `i` has `n(i)` multicore processors with `c(i)` cores each; all
+/// cores in the node share one P-state ladder and one power profile, and the
+/// node's power supply converts wall power to component power with
+/// efficiency `ε(i)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// `n(i)`: number of multicore processors (1..=4 in the paper).
+    pub processors: usize,
+    /// `c(i)`: cores per multicore processor (1..=4 in the paper).
+    pub cores_per_processor: usize,
+    /// The node's DVFS clock-speed profile.
+    pub ladder: PStateLadder,
+    /// The node's per-P-state power draw `μ(i, ·)`.
+    pub power: PowerProfile,
+    /// `ε(i)`: power-supply efficiency in (0, 1].
+    pub efficiency: f64,
+}
+
+impl NodeSpec {
+    /// Creates a node spec, validating counts and efficiency.
+    pub fn new(
+        processors: usize,
+        cores_per_processor: usize,
+        ladder: PStateLadder,
+        power: PowerProfile,
+        efficiency: f64,
+    ) -> Self {
+        assert!(processors >= 1, "node needs at least one processor");
+        assert!(cores_per_processor >= 1, "processor needs at least one core");
+        assert!(
+            efficiency.is_finite() && efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        Self {
+            processors,
+            cores_per_processor,
+            ladder,
+            power,
+            efficiency,
+        }
+    }
+
+    /// Total cores in this node: `n(i) × c(i)`.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.processors * self.cores_per_processor
+    }
+
+    /// Wall power drawn when one core runs in `state`, including supply
+    /// losses: `μ(i, π) / ε(i)` (the division in the paper's Eq. 2).
+    #[inline]
+    pub fn wall_watts(&self, state: PState) -> f64 {
+        self.power.watts(state) / self.efficiency
+    }
+
+    /// Execution-time multiplier of `state` on this node.
+    #[inline]
+    pub fn exec_time_multiplier(&self, state: PState) -> f64 {
+        self.ladder.exec_time_multiplier(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeSpec {
+        NodeSpec::new(
+            2,
+            3,
+            PStateLadder::from_relative_performance([2.0, 1.7, 1.4, 1.2, 1.0]),
+            PowerProfile::from_watts([100.0, 80.0, 60.0, 40.0, 25.0]),
+            0.9,
+        )
+    }
+
+    #[test]
+    fn total_cores_is_product() {
+        assert_eq!(node().total_cores(), 6);
+    }
+
+    #[test]
+    fn wall_watts_divides_by_efficiency() {
+        let n = node();
+        assert!((n.wall_watts(PState::P0) - 100.0 / 0.9).abs() < 1e-12);
+        assert!((n.wall_watts(PState::P4) - 25.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_multiplier_delegates_to_ladder() {
+        let n = node();
+        assert_eq!(n.exec_time_multiplier(PState::P0), 1.0);
+        assert!((n.exec_time_multiplier(PState::P4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let n = node();
+        let _ = NodeSpec::new(0, 1, n.ladder, n.power, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let n = node();
+        let _ = NodeSpec::new(1, 0, n.ladder, n.power, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn efficiency_above_one_rejected() {
+        let n = node();
+        let _ = NodeSpec::new(1, 1, n.ladder, n.power, 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        let n = node();
+        let _ = NodeSpec::new(1, 1, n.ladder, n.power, 0.0);
+    }
+
+    #[test]
+    fn perfect_efficiency_is_allowed() {
+        let n = node();
+        let spec = NodeSpec::new(1, 1, n.ladder, n.power, 1.0);
+        assert_eq!(spec.wall_watts(PState::P0), 100.0);
+    }
+}

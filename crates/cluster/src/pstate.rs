@@ -1,0 +1,231 @@
+//! ACPI P-states and per-node clock-speed ladders.
+//!
+//! The ACPI standard defines up to 16 performance states; following the
+//! paper we model five, `P0` (highest power, highest performance) through
+//! `P4` (lowest power, lowest performance). Cores switch P-states only while
+//! idle, transitions are instantaneous relative to task durations, and every
+//! core in a node shares the same ladder.
+
+/// Number of P-states modeled (paper Sec. III-A: the set `P`).
+pub const NUM_PSTATES: usize = 5;
+
+/// An ACPI processor performance state.
+///
+/// `P0` is the base state: highest frequency/voltage, highest power draw and
+/// shortest execution times. `P4` is the deepest DVFS state: lowest power,
+/// longest execution times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PState {
+    /// Base state — fastest, most power-hungry.
+    P0,
+    /// One DVFS step below base.
+    P1,
+    /// Two DVFS steps below base.
+    P2,
+    /// Three DVFS steps below base.
+    P3,
+    /// Deepest DVFS state — slowest, most frugal.
+    P4,
+}
+
+impl PState {
+    /// All P-states, fastest first.
+    pub const ALL: [PState; NUM_PSTATES] =
+        [PState::P0, PState::P1, PState::P2, PState::P3, PState::P4];
+
+    /// Index of this state (`P0 → 0`, ..., `P4 → 4`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            PState::P0 => 0,
+            PState::P1 => 1,
+            PState::P2 => 2,
+            PState::P3 => 3,
+            PState::P4 => 4,
+        }
+    }
+
+    /// The state with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_PSTATES`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Self::ALL[idx]
+    }
+
+    /// `true` for the base (fastest) state.
+    #[inline]
+    pub const fn is_base(self) -> bool {
+        matches!(self, PState::P0)
+    }
+
+    /// `true` for the deepest (slowest) state.
+    #[inline]
+    pub const fn is_deepest(self) -> bool {
+        matches!(self, PState::P4)
+    }
+}
+
+impl std::fmt::Display for PState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.index())
+    }
+}
+
+/// A node's clock-speed profile: per-P-state relative performance,
+/// execution-time multipliers, and normalized frequencies.
+///
+/// Generated per the paper: performance steps up by a uniform 15–25% from
+/// each state to the next-faster one, and the slowest state retains at least
+/// 42% of the base state's performance (the paper observes this bound holds
+/// for its generated ladders; we enforce it by resampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStateLadder {
+    /// Relative performance per state, normalized so `perf[P0] == 1.0`;
+    /// strictly decreasing in the state index.
+    perf: [f64; NUM_PSTATES],
+}
+
+impl PStateLadder {
+    /// Builds a ladder from relative performance values (any positive
+    /// scale); they are normalized so the base state is 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the values are finite, positive, and strictly
+    /// decreasing from `P0` to `P4`.
+    pub fn from_relative_performance(perf: [f64; NUM_PSTATES]) -> Self {
+        assert!(
+            perf.iter().all(|p| p.is_finite() && *p > 0.0),
+            "performance values must be finite and positive"
+        );
+        assert!(
+            perf.windows(2).all(|w| w[0] > w[1]),
+            "performance must strictly decrease from P0 to P4"
+        );
+        let base = perf[0];
+        let mut normalized = perf;
+        for p in &mut normalized {
+            *p /= base;
+        }
+        Self { perf: normalized }
+    }
+
+    /// A uniform ladder where every state performs identically — useful in
+    /// tests that want to neutralize DVFS effects.
+    pub fn flat_for_tests() -> Self {
+        // Strictly decreasing is required; use negligibly small steps.
+        Self::from_relative_performance([1.0, 0.999999, 0.999998, 0.999997, 0.999996])
+    }
+
+    /// Relative performance of `state` (`1.0` at `P0`, decreasing).
+    #[inline]
+    pub fn relative_performance(&self, state: PState) -> f64 {
+        self.perf[state.index()]
+    }
+
+    /// Execution-time multiplier of `state`: how much longer a task runs in
+    /// `state` than in `P0` (`1.0` at `P0`, increasing with depth).
+    #[inline]
+    pub fn exec_time_multiplier(&self, state: PState) -> f64 {
+        1.0 / self.perf[state.index()]
+    }
+
+    /// Normalized operating frequency of `state` (equal to relative
+    /// performance: the paper scales execution time linearly with clock).
+    #[inline]
+    pub fn frequency(&self, state: PState) -> f64 {
+        self.perf[state.index()]
+    }
+
+    /// Ratio of the slowest state's performance to the fastest's —
+    /// the paper reports this never falls below 0.42.
+    pub fn min_to_max_ratio(&self) -> f64 {
+        self.perf[NUM_PSTATES - 1] / self.perf[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, s) in PState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(PState::from_index(i), *s);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = PState::from_index(5);
+    }
+
+    #[test]
+    fn base_and_deepest_flags() {
+        assert!(PState::P0.is_base());
+        assert!(!PState::P0.is_deepest());
+        assert!(PState::P4.is_deepest());
+        assert!(!PState::P4.is_base());
+    }
+
+    #[test]
+    fn display_formats_as_acpi_names() {
+        assert_eq!(PState::P0.to_string(), "P0");
+        assert_eq!(PState::P3.to_string(), "P3");
+    }
+
+    #[test]
+    fn ordering_follows_depth() {
+        assert!(PState::P0 < PState::P4);
+    }
+
+    fn ladder() -> PStateLadder {
+        PStateLadder::from_relative_performance([2.0, 1.7, 1.4, 1.2, 1.0])
+    }
+
+    #[test]
+    fn ladder_normalizes_to_base() {
+        let l = ladder();
+        assert_eq!(l.relative_performance(PState::P0), 1.0);
+        assert!((l.relative_performance(PState::P4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_multiplier_is_inverse_performance() {
+        let l = ladder();
+        assert_eq!(l.exec_time_multiplier(PState::P0), 1.0);
+        assert!((l.exec_time_multiplier(PState::P4) - 2.0).abs() < 1e-12);
+        // Monotone: deeper states run longer.
+        for w in PState::ALL.windows(2) {
+            assert!(l.exec_time_multiplier(w[0]) < l.exec_time_multiplier(w[1]));
+        }
+    }
+
+    #[test]
+    fn min_to_max_ratio_matches() {
+        assert!((ladder().min_to_max_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn non_monotone_ladder_rejected() {
+        let _ = PStateLadder::from_relative_performance([1.0, 1.1, 0.9, 0.8, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_performance_rejected() {
+        let _ = PStateLadder::from_relative_performance([1.0, 0.8, 0.6, 0.4, 0.0]);
+    }
+
+    #[test]
+    fn flat_ladder_is_effectively_uniform() {
+        let l = PStateLadder::flat_for_tests();
+        assert!((l.exec_time_multiplier(PState::P4) - 1.0).abs() < 1e-4);
+    }
+}

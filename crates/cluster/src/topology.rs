@@ -1,0 +1,198 @@
+//! The cluster: a validated collection of nodes with flat core addressing.
+//!
+//! The paper addresses a core as the triple (node `i`, multicore processor
+//! `j`, core `k`); the simulator additionally wants a dense flat index for
+//! per-core state arrays. [`CoreId`] carries both.
+
+use crate::node::NodeSpec;
+use crate::pstate::{PState, NUM_PSTATES};
+
+/// Address of one core: the paper's `(i, j, k)` triple plus a dense flat
+/// index assigned in node-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreId {
+    /// Node index `i` (0-based).
+    pub node: usize,
+    /// Multicore-processor index `j` within the node (0-based).
+    pub processor: usize,
+    /// Core index `k` within the processor (0-based).
+    pub core: usize,
+    /// Dense index over all cores in the cluster, node-major then
+    /// processor-major; stable for a given cluster.
+    pub flat: usize,
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}p{}c{}", self.node, self.processor, self.core)
+    }
+}
+
+/// A heterogeneous compute cluster (paper Fig. 1 level 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    nodes: Vec<NodeSpec>,
+    cores: Vec<CoreId>,
+}
+
+impl Cluster {
+    /// Builds a cluster from node specs and precomputes the flat core list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        let mut cores = Vec::new();
+        let mut flat = 0;
+        for (node, spec) in nodes.iter().enumerate() {
+            for processor in 0..spec.processors {
+                for core in 0..spec.cores_per_processor {
+                    cores.push(CoreId {
+                        node,
+                        processor,
+                        core,
+                        flat,
+                    });
+                    flat += 1;
+                }
+            }
+        }
+        Self { nodes, cores }
+    }
+
+    /// Number of nodes `N`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node specs.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Spec of node `i`.
+    #[inline]
+    pub fn node(&self, i: usize) -> &NodeSpec {
+        &self.nodes[i]
+    }
+
+    /// All cores, in flat order.
+    #[inline]
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Total core count `Σ n(i)·c(i)`.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The core with the given flat index.
+    #[inline]
+    pub fn core(&self, flat: usize) -> CoreId {
+        self.cores[flat]
+    }
+
+    /// The node spec owning `core`.
+    #[inline]
+    pub fn node_of(&self, core: CoreId) -> &NodeSpec {
+        &self.nodes[core.node]
+    }
+
+    /// Eq. 8: `p_avg`, the mean of `μ(i, π)` over all nodes and all
+    /// P-states (note: per the paper this averages per *node*, not per
+    /// core — a node's core count does not weight it).
+    pub fn average_power(&self) -> f64 {
+        let total: f64 = self
+            .nodes
+            .iter()
+            .map(|n| {
+                PState::ALL
+                    .iter()
+                    .map(|&s| n.power.watts(s))
+                    .sum::<f64>()
+            })
+            .sum();
+        total / (self.nodes.len() * NUM_PSTATES) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerProfile;
+    use crate::pstate::PStateLadder;
+
+    fn mk_node(processors: usize, cores: usize, peak: f64) -> NodeSpec {
+        NodeSpec::new(
+            processors,
+            cores,
+            PStateLadder::from_relative_performance([2.0, 1.7, 1.4, 1.2, 1.0]),
+            PowerProfile::from_watts([peak, peak * 0.8, peak * 0.6, peak * 0.4, peak * 0.25]),
+            0.95,
+        )
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![mk_node(1, 2, 100.0), mk_node(2, 3, 200.0)])
+    }
+
+    #[test]
+    fn core_enumeration_is_dense_and_ordered() {
+        let c = cluster();
+        assert_eq!(c.total_cores(), 2 + 2 * 3);
+        for (idx, core) in c.cores().iter().enumerate() {
+            assert_eq!(core.flat, idx);
+        }
+        // First node's cores precede the second node's.
+        assert_eq!(c.core(0).node, 0);
+        assert_eq!(c.core(2).node, 1);
+    }
+
+    #[test]
+    fn core_triple_addressing() {
+        let c = cluster();
+        let last = c.core(c.total_cores() - 1);
+        assert_eq!(last.node, 1);
+        assert_eq!(last.processor, 1);
+        assert_eq!(last.core, 2);
+    }
+
+    #[test]
+    fn node_of_resolves_spec() {
+        let c = cluster();
+        assert_eq!(c.node_of(c.core(0)).total_cores(), 2);
+        assert_eq!(c.node_of(c.core(5)).total_cores(), 6);
+    }
+
+    #[test]
+    fn average_power_is_node_weighted() {
+        let c = cluster();
+        // Node 1: mean of 100·(1, .8, .6, .4, .25)/5 = 61.0
+        // Node 2: 122.0; cluster average = 91.5 regardless of core counts.
+        assert!((c.average_power() - 91.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::new(vec![]);
+    }
+
+    #[test]
+    fn display_core_id() {
+        let c = cluster();
+        assert_eq!(c.core(0).to_string(), "n0p0c0");
+    }
+
+    #[test]
+    fn single_core_cluster() {
+        let c = Cluster::new(vec![mk_node(1, 1, 130.0)]);
+        assert_eq!(c.total_cores(), 1);
+        assert_eq!(c.core(0).flat, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests of cluster-generation invariants over randomized
+//! generator configurations.
+
+use ecds_cluster::{generate_cluster, ClusterGenConfig, PState};
+use ecds_pmf::{SeedDerive, Uniform};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ClusterGenConfig> {
+    (
+        1usize..6,              // nodes
+        1usize..4,              // processors lo
+        0usize..3,              // processors extra
+        1usize..4,              // cores lo
+        0usize..3,              // cores extra
+        0.10f64..0.20,          // perf step lo
+        0.01f64..0.10,          // perf step extra
+        100.0f64..140.0,        // peak lo
+        1.0f64..20.0,           // peak extra
+    )
+        .prop_map(
+            |(nodes, p_lo, p_extra, c_lo, c_extra, step_lo, step_extra, peak_lo, peak_extra)| {
+                ClusterGenConfig {
+                    nodes,
+                    processors_range: (p_lo, p_lo + p_extra),
+                    cores_range: (c_lo, c_lo + c_extra),
+                    perf_step: Uniform::new(step_lo, step_lo + step_extra),
+                    // Keep the resample bound satisfiable for any step range
+                    // drawn above ((1 + 0.3)^-4 ≈ 0.35).
+                    min_perf_ratio: 0.3,
+                    peak_watts: Uniform::new(peak_lo, peak_lo + peak_extra),
+                    ..ClusterGenConfig::paper()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_clusters_respect_their_config(cfg in arb_config(), seed in 0u64..500) {
+        let cluster = generate_cluster(&cfg, &SeedDerive::new(seed));
+        prop_assert_eq!(cluster.num_nodes(), cfg.nodes);
+        for node in cluster.nodes() {
+            prop_assert!(node.processors >= cfg.processors_range.0);
+            prop_assert!(node.processors <= cfg.processors_range.1);
+            prop_assert!(node.cores_per_processor >= cfg.cores_range.0);
+            prop_assert!(node.cores_per_processor <= cfg.cores_range.1);
+            let peak = node.power.peak_watts();
+            prop_assert!(peak >= cfg.peak_watts.lo() && peak < cfg.peak_watts.hi());
+            prop_assert!(node.efficiency >= cfg.efficiency.lo());
+            prop_assert!(node.efficiency < cfg.efficiency.hi());
+            prop_assert!(node.ladder.min_to_max_ratio() >= cfg.min_perf_ratio);
+        }
+    }
+
+    #[test]
+    fn power_and_performance_are_monotone(cfg in arb_config(), seed in 0u64..500) {
+        let cluster = generate_cluster(&cfg, &SeedDerive::new(seed));
+        for node in cluster.nodes() {
+            for w in PState::ALL.windows(2) {
+                prop_assert!(node.power.watts(w[0]) > node.power.watts(w[1]));
+                prop_assert!(
+                    node.ladder.relative_performance(w[0])
+                        > node.ladder.relative_performance(w[1])
+                );
+                prop_assert!(
+                    node.exec_time_multiplier(w[0]) < node.exec_time_multiplier(w[1])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_core_indexing_is_dense(cfg in arb_config(), seed in 0u64..500) {
+        let cluster = generate_cluster(&cfg, &SeedDerive::new(seed));
+        let expected: usize = cluster.nodes().iter().map(|n| n.total_cores()).sum();
+        prop_assert_eq!(cluster.total_cores(), expected);
+        for (i, core) in cluster.cores().iter().enumerate() {
+            prop_assert_eq!(core.flat, i);
+            prop_assert!(core.node < cluster.num_nodes());
+            prop_assert!(core.processor < cluster.node(core.node).processors);
+            prop_assert!(core.core < cluster.node(core.node).cores_per_processor);
+        }
+    }
+
+    #[test]
+    fn average_power_is_between_extremes(cfg in arb_config(), seed in 0u64..500) {
+        let cluster = generate_cluster(&cfg, &SeedDerive::new(seed));
+        let min = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.power.deepest_watts())
+            .fold(f64::INFINITY, f64::min);
+        let max = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.power.peak_watts())
+            .fold(0.0f64, f64::max);
+        let avg = cluster.average_power();
+        prop_assert!(avg > min && avg < max);
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config(), seed in 0u64..500) {
+        let a = generate_cluster(&cfg, &SeedDerive::new(seed));
+        let b = generate_cluster(&cfg, &SeedDerive::new(seed));
+        prop_assert_eq!(a, b);
+    }
+}

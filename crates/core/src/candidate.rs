@@ -1,0 +1,43 @@
+//! A candidate assignment with its evaluated decision quantities.
+
+use ecds_cluster::PState;
+
+use crate::estimate::AssignmentEstimate;
+
+/// One feasible assignment — a (core, P-state) pair — annotated with the
+/// estimates every heuristic and filter consumes.
+///
+/// Candidates are produced in deterministic order (core-major, then
+/// P-state from `P0` to `P4`), which fixes tie-breaking behaviour across
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluatedCandidate {
+    /// Flat core index.
+    pub core: usize,
+    /// P-state of the assignment.
+    pub pstate: PState,
+    /// The evaluated EET / ECT / EEC / ρ quadruple.
+    pub est: AssignmentEstimate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_carries_estimates() {
+        let c = EvaluatedCandidate {
+            core: 3,
+            pstate: PState::P2,
+            est: AssignmentEstimate {
+                eet: 10.0,
+                ect: 25.0,
+                eec: 600.0,
+                rho: 0.75,
+            },
+        };
+        assert_eq!(c.core, 3);
+        assert_eq!(c.pstate, PState::P2);
+        assert_eq!(c.est.rho, 0.75);
+    }
+}

@@ -1,0 +1,203 @@
+//! Factory for the paper's 4 × 4 heuristic/filter grid.
+
+use ecds_pmf::{ReductionPolicy, Stream};
+use ecds_sim::Scenario;
+
+use crate::filters::energy::EnergyFilter;
+use crate::filters::robustness::RobustnessFilter;
+use crate::filters::Filter;
+use crate::heuristics::ll::LightestLoad;
+use crate::heuristics::mect::MinimumExpectedCompletionTime;
+use crate::heuristics::random::RandomChoice;
+use crate::heuristics::sq::ShortestQueue;
+use crate::heuristics::Heuristic;
+use crate::scheduler::Scheduler;
+
+/// The four heuristics of Sec. V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// Shortest Queue (Sec. V-B).
+    ShortestQueue,
+    /// Minimum Expected Completion Time (Sec. V-C).
+    Mect,
+    /// Lightest Load — the paper's new heuristic (Sec. V-D).
+    LightestLoad,
+    /// Uniform random baseline (Sec. V-E).
+    Random,
+}
+
+impl HeuristicKind {
+    /// All four, in the paper's figure order.
+    pub const ALL: [HeuristicKind; 4] = [
+        HeuristicKind::ShortestQueue,
+        HeuristicKind::Mect,
+        HeuristicKind::LightestLoad,
+        HeuristicKind::Random,
+    ];
+
+    /// The figure label ("SQ", "MECT", "LL", "Random").
+    pub fn label(&self) -> &'static str {
+        match self {
+            HeuristicKind::ShortestQueue => "SQ",
+            HeuristicKind::Mect => "MECT",
+            HeuristicKind::LightestLoad => "LL",
+            HeuristicKind::Random => "Random",
+        }
+    }
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The four filter variants of Figures 2–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterVariant {
+    /// No filtering ("none").
+    None,
+    /// Energy filter only ("en").
+    Energy,
+    /// Robustness filter only ("rob").
+    Robustness,
+    /// Both filters ("en+rob") — the paper's best variant for every
+    /// heuristic.
+    EnergyAndRobustness,
+}
+
+impl FilterVariant {
+    /// All four, in the paper's figure order.
+    pub const ALL: [FilterVariant; 4] = [
+        FilterVariant::None,
+        FilterVariant::Energy,
+        FilterVariant::Robustness,
+        FilterVariant::EnergyAndRobustness,
+    ];
+
+    /// The figure label ("none", "en", "rob", "en+rob").
+    pub fn label(&self) -> &'static str {
+        match self {
+            FilterVariant::None => "none",
+            FilterVariant::Energy => "en",
+            FilterVariant::Robustness => "rob",
+            FilterVariant::EnergyAndRobustness => "en+rob",
+        }
+    }
+
+    /// Builds the corresponding filter chain (energy first, then
+    /// robustness — retain-only filters commute, so order affects only
+    /// which filter short-circuits an empty set first).
+    pub fn build(&self) -> Vec<Box<dyn Filter>> {
+        match self {
+            FilterVariant::None => vec![],
+            FilterVariant::Energy => vec![Box::new(EnergyFilter::paper())],
+            FilterVariant::Robustness => vec![Box::new(RobustnessFilter::paper())],
+            FilterVariant::EnergyAndRobustness => vec![
+                Box::new(EnergyFilter::paper()),
+                Box::new(RobustnessFilter::paper()),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for FilterVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds one heuristic instance; `trial` seeds Random's substream (derived
+/// from the scenario's master seed so whole grids reproduce from one u64).
+pub fn build_heuristic(
+    kind: HeuristicKind,
+    scenario: &Scenario,
+    trial: u64,
+) -> Box<dyn Heuristic> {
+    match kind {
+        HeuristicKind::ShortestQueue => Box::new(ShortestQueue),
+        HeuristicKind::Mect => Box::new(MinimumExpectedCompletionTime),
+        HeuristicKind::LightestLoad => Box::new(LightestLoad),
+        HeuristicKind::Random => Box::new(RandomChoice::new(
+            scenario.seeds().seed(Stream::Heuristic, trial, 0),
+        )),
+    }
+}
+
+/// Builds a ready-to-run [`Scheduler`] for one cell of the paper's grid.
+///
+/// The scheduler's ledger budget is the scenario's ζ_max (infinite when the
+/// scenario is unconstrained), and the default convolution reduction policy
+/// is used.
+pub fn build_scheduler(
+    kind: HeuristicKind,
+    variant: FilterVariant,
+    scenario: &Scenario,
+    trial: u64,
+) -> Box<Scheduler> {
+    let budget = scenario.energy_budget().unwrap_or(f64::INFINITY);
+    Box::new(Scheduler::new(
+        build_heuristic(kind, scenario, trial),
+        variant.build(),
+        budget,
+        ReductionPolicy::default(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecds_sim::{Simulation};
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(HeuristicKind::ShortestQueue.label(), "SQ");
+        assert_eq!(HeuristicKind::Mect.label(), "MECT");
+        assert_eq!(HeuristicKind::LightestLoad.label(), "LL");
+        assert_eq!(HeuristicKind::Random.label(), "Random");
+        assert_eq!(FilterVariant::None.label(), "none");
+        assert_eq!(FilterVariant::Energy.label(), "en");
+        assert_eq!(FilterVariant::Robustness.label(), "rob");
+        assert_eq!(FilterVariant::EnergyAndRobustness.label(), "en+rob");
+    }
+
+    #[test]
+    fn variant_chains_have_expected_lengths() {
+        assert_eq!(FilterVariant::None.build().len(), 0);
+        assert_eq!(FilterVariant::Energy.build().len(), 1);
+        assert_eq!(FilterVariant::Robustness.build().len(), 1);
+        assert_eq!(FilterVariant::EnergyAndRobustness.build().len(), 2);
+    }
+
+    #[test]
+    fn full_grid_builds_and_runs() {
+        let s = ecds_sim::Scenario::small_for_tests(19);
+        let trace = s.trace(0);
+        for kind in HeuristicKind::ALL {
+            for variant in FilterVariant::ALL {
+                let mut sched = build_scheduler(kind, variant, &s, 0);
+                let result = Simulation::new(&s, &trace).run(sched.as_mut());
+                assert_eq!(result.window(), trace.len(), "{kind}/{variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_schedulers_reproduce_per_trial() {
+        let s = ecds_sim::Scenario::small_for_tests(19);
+        let trace = s.trace(0);
+        let run = |trial: u64| {
+            let mut sched =
+                build_scheduler(HeuristicKind::Random, FilterVariant::None, &s, trial);
+            Simulation::new(&s, &trace).run(sched.as_mut())
+        };
+        assert_eq!(run(0).outcomes(), run(0).outcomes());
+        assert_ne!(run(0).outcomes(), run(1).outcomes());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(HeuristicKind::LightestLoad.to_string(), "LL");
+        assert_eq!(FilterVariant::EnergyAndRobustness.to_string(), "en+rob");
+    }
+}

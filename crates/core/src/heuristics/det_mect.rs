@@ -1,0 +1,170 @@
+//! Deterministic-estimate MCT: the ablation that validates the paper's
+//! stochastic machinery (contribution (a)).
+//!
+//! Sec. IV-B motivates pmf-based completion times against "a deterministic
+//! (i.e., non-probabilistic) model [where] we calculate the completion time
+//! as the sum of the estimated execution times". This heuristic *is* that
+//! deterministic model: it ranks assignments by scalar mean arithmetic
+//! only — no truncation/renormalization of the executing task, no
+//! convolution. Comparing it against [`MinimumExpectedCompletionTime`]
+//! (whose ECT is the expectation of the true completion pmf) isolates the
+//! value of the stochastic model in allocation decisions.
+
+use ecds_sim::SystemView;
+use ecds_workload::Task;
+
+use crate::candidate::EvaluatedCandidate;
+use crate::heuristics::{argmin_by_key, Heuristic};
+
+/// **det-MCT**: minimum completion time computed with scalar means.
+///
+/// The deterministic ready-time of a core is
+/// `max(now, start(executing) + EET(executing)) + Σ EET(queued)`; the
+/// deterministic completion time of a candidate adds its own EET. The
+/// crucial difference from the stochastic model: a task that has already
+/// run *longer* than its mean is predicted to finish "immediately",
+/// whereas conditioning the pmf on "still running" (truncate + renormalize)
+/// correctly pushes the prediction outward.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeterministicMct;
+
+/// The deterministic ready time of `core` at the view's time.
+pub fn deterministic_ready_time(view: &SystemView<'_>, core: usize) -> f64 {
+    let state = view.core_state(core);
+    let node = view.cluster().core(core).node;
+    let table = view.table();
+    let now = view.time();
+    let mut ready = now;
+    if let Some(exec) = state.executing() {
+        let predicted_end = exec.start + table.eet(exec.type_id, node, exec.pstate);
+        ready = predicted_end.max(now);
+    }
+    for queued in state.queued() {
+        ready += table.eet(queued.type_id, node, queued.pstate);
+    }
+    ready
+}
+
+impl Heuristic for DeterministicMct {
+    fn name(&self) -> &'static str {
+        "det-MCT"
+    }
+
+    fn choose(
+        &mut self,
+        _task: &Task,
+        view: &SystemView<'_>,
+        candidates: &[EvaluatedCandidate],
+    ) -> Option<usize> {
+        // Ready times depend only on the core; cache per flat index.
+        let mut ready: Vec<Option<f64>> = vec![None; view.cluster().total_cores()];
+        argmin_by_key(candidates, |c| {
+            let r = *ready[c.core].get_or_insert_with(|| deterministic_ready_time(view, c.core));
+            r + c.est.eet
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::testutil::task;
+    use ecds_cluster::PState;
+    use ecds_sim::{CoreState, ExecutingTask, QueuedTask, Scenario};
+    use ecds_workload::{TaskId, TaskTypeId};
+
+    fn scenario() -> Scenario {
+        Scenario::small_for_tests(17)
+    }
+
+    #[test]
+    fn idle_core_is_ready_now() {
+        let s = scenario();
+        let cores = vec![CoreState::new(); s.cluster().total_cores()];
+        let v = ecds_sim::SystemView::new(s.cluster(), s.table(), &cores, 123.0, 1, 10);
+        assert_eq!(deterministic_ready_time(&v, 0), 123.0);
+    }
+
+    #[test]
+    fn busy_core_ready_after_mean_plus_queue() {
+        let s = scenario();
+        let node = s.cluster().core(0).node;
+        let eet_exec = s.table().eet(TaskTypeId(1), node, PState::P0);
+        let eet_queued = s.table().eet(TaskTypeId(2), node, PState::P2);
+        let mut cores = vec![CoreState::new(); s.cluster().total_cores()];
+        cores[0].start(ExecutingTask {
+            task: TaskId(0),
+            type_id: TaskTypeId(1),
+            pstate: PState::P0,
+            start: 10.0,
+            deadline: 1e9,
+        });
+        cores[0].enqueue(QueuedTask {
+            task: TaskId(1),
+            type_id: TaskTypeId(2),
+            pstate: PState::P2,
+            deadline: 1e9,
+        });
+        let v = ecds_sim::SystemView::new(s.cluster(), s.table(), &cores, 20.0, 2, 10);
+        let expected = 10.0 + eet_exec + eet_queued;
+        assert!((deterministic_ready_time(&v, 0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdue_executing_task_clamps_to_now() {
+        // The deterministic model's blind spot: a task past its mean is
+        // predicted done "now", underestimating the true remaining time.
+        let s = scenario();
+        let node = s.cluster().core(0).node;
+        let eet = s.table().eet(TaskTypeId(1), node, PState::P0);
+        let mut cores = vec![CoreState::new(); s.cluster().total_cores()];
+        cores[0].start(ExecutingTask {
+            task: TaskId(0),
+            type_id: TaskTypeId(1),
+            pstate: PState::P0,
+            start: 0.0,
+            deadline: 1e9,
+        });
+        let late = 5.0 * eet;
+        let v = ecds_sim::SystemView::new(s.cluster(), s.table(), &cores, late, 1, 10);
+        assert_eq!(deterministic_ready_time(&v, 0), late);
+    }
+
+    #[test]
+    fn chooses_min_deterministic_completion() {
+        let s = scenario();
+        let mut cores = vec![CoreState::new(); s.cluster().total_cores()];
+        // Core 0 busy with a long task; others idle.
+        cores[0].start(ExecutingTask {
+            task: TaskId(0),
+            type_id: TaskTypeId(1),
+            pstate: PState::P4,
+            start: 0.0,
+            deadline: 1e9,
+        });
+        let v = ecds_sim::SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 10);
+        let evaluator = crate::estimate::CandidateEvaluator::default();
+        let t = task();
+        let candidates = evaluator.evaluate_all(&v, &t);
+        let mut h = DeterministicMct;
+        let idx = h.choose(&t, &v, &candidates).unwrap();
+        // The chosen core should not be the busy one unless its EET edge is
+        // overwhelming; at minimum the choice must be a valid index.
+        assert!(idx < candidates.len());
+        // And it must be a base-state assignment (fastest completion).
+        assert_eq!(candidates[idx].pstate, PState::P0);
+    }
+
+    #[test]
+    fn empty_candidates_abstain() {
+        let s = scenario();
+        let cores = vec![CoreState::new(); s.cluster().total_cores()];
+        let v = ecds_sim::SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 10);
+        assert_eq!(DeterministicMct.choose(&task(), &v, &[]), None);
+    }
+
+    #[test]
+    fn name_is_det_mct() {
+        assert_eq!(DeterministicMct.name(), "det-MCT");
+    }
+}

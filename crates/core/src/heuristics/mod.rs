@@ -1,0 +1,118 @@
+//! Task-scheduling heuristics (paper Sec. V).
+//!
+//! Every heuristic operates in immediate mode: given the filtered feasible
+//! set of assignments for one arriving task, it picks exactly one (or
+//! abstains if the set is empty — the scheduler then discards the task).
+//! All heuristics are deterministic given their inputs ([`random`] carries
+//! its own seeded RNG), and all tie-breaking follows the candidate list's
+//! deterministic core-major order.
+
+pub mod det_mect;
+pub mod kpb;
+pub mod ll;
+pub mod mect;
+pub mod met;
+pub mod olb;
+pub mod random;
+pub mod sq;
+
+use ecds_sim::SystemView;
+use ecds_workload::Task;
+
+use crate::candidate::EvaluatedCandidate;
+
+/// An immediate-mode assignment heuristic.
+pub trait Heuristic: Send {
+    /// Display name used in figures ("SQ", "MECT", "LL", "Random").
+    fn name(&self) -> &'static str;
+
+    /// Chooses the index of one candidate, or `None` when `candidates` is
+    /// empty.
+    fn choose(
+        &mut self,
+        task: &Task,
+        view: &SystemView<'_>,
+        candidates: &[EvaluatedCandidate],
+    ) -> Option<usize>;
+
+    /// Resets per-trial internal state. Default: no-op.
+    fn reset(&mut self) {}
+}
+
+/// Selects the index minimizing `key`, breaking ties by list order
+/// (deterministic because candidates are generated core-major).
+pub(crate) fn argmin_by_key<F>(candidates: &[EvaluatedCandidate], mut key: F) -> Option<usize>
+where
+    F: FnMut(&EvaluatedCandidate) -> f64,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (idx, cand) in candidates.iter().enumerate() {
+        let k = key(cand);
+        debug_assert!(!k.is_nan(), "heuristic keys must not be NaN");
+        match best {
+            Some((_, bk)) if bk <= k => {}
+            _ => best = Some((idx, k)),
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ecds_cluster::PState;
+    use ecds_workload::{Task, TaskId, TaskTypeId};
+
+    use crate::candidate::EvaluatedCandidate;
+    use crate::estimate::AssignmentEstimate;
+
+    /// Builds a candidate with the given quantities.
+    pub fn cand(core: usize, pstate: PState, eet: f64, ect: f64, eec: f64, rho: f64) -> EvaluatedCandidate {
+        EvaluatedCandidate {
+            core,
+            pstate,
+            est: AssignmentEstimate { eet, ect, eec, rho },
+        }
+    }
+
+    /// A throwaway task for heuristic tests.
+    pub fn task() -> Task {
+        Task {
+            id: TaskId(0),
+            type_id: TaskTypeId(0),
+            arrival: 0.0,
+            deadline: 1000.0,
+            quantile: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::cand;
+    use super::*;
+    use ecds_cluster::PState;
+
+    #[test]
+    fn argmin_picks_smallest() {
+        let cands = vec![
+            cand(0, PState::P0, 3.0, 0.0, 0.0, 0.0),
+            cand(1, PState::P0, 1.0, 0.0, 0.0, 0.0),
+            cand(2, PState::P0, 2.0, 0.0, 0.0, 0.0),
+        ];
+        assert_eq!(argmin_by_key(&cands, |c| c.est.eet), Some(1));
+    }
+
+    #[test]
+    fn argmin_breaks_ties_by_order() {
+        let cands = vec![
+            cand(0, PState::P0, 1.0, 0.0, 0.0, 0.0),
+            cand(1, PState::P0, 1.0, 0.0, 0.0, 0.0),
+        ];
+        assert_eq!(argmin_by_key(&cands, |c| c.est.eet), Some(0));
+    }
+
+    #[test]
+    fn argmin_empty_is_none() {
+        assert_eq!(argmin_by_key(&[], |c| c.est.eet), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests of the heuristic/filter/scheduler pipeline: for
+//! arbitrary candidate sets, every heuristic must choose a valid index and
+//! every filter must only ever shrink the set.
+
+use ecds_cluster::PState;
+use ecds_core::{
+    DeterministicMct, EnergyFilter, EvaluatedCandidate, Filter, FilterCtx, Heuristic,
+    KPercentBest, LightestLoad, MinimumExecutionTime, MinimumExpectedCompletionTime,
+    OpportunisticLoadBalancing, RandomChoice, RobustnessFilter, ShortestQueue,
+};
+use ecds_core::AssignmentEstimate;
+use ecds_sim::{CoreState, Scenario, SystemView};
+use ecds_workload::{Task, TaskId, TaskTypeId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::small_for_tests(55))
+}
+
+fn idle_cores() -> &'static Vec<CoreState> {
+    static C: OnceLock<Vec<CoreState>> = OnceLock::new();
+    C.get_or_init(|| vec![CoreState::new(); scenario().cluster().total_cores()])
+}
+
+fn task() -> Task {
+    Task {
+        id: TaskId(0),
+        type_id: TaskTypeId(0),
+        arrival: 0.0,
+        deadline: 5000.0,
+        quantile: 0.5,
+    }
+}
+
+/// Arbitrary candidate annotated with plausible (finite, positive)
+/// estimates on valid cores of the small scenario.
+fn arb_candidates() -> impl Strategy<Value = Vec<EvaluatedCandidate>> {
+    let cores = scenario().cluster().total_cores();
+    prop::collection::vec(
+        (
+            0..cores,
+            0usize..5,
+            1.0f64..5000.0,  // eet
+            0.0f64..5000.0,  // queue delay (ect = eet + delay)
+            1.0f64..500_000.0, // eec
+            0.0f64..1.0,     // rho
+        ),
+        1..24,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(core, ps, eet, delay, eec, rho)| EvaluatedCandidate {
+                core,
+                pstate: PState::from_index(ps),
+                est: AssignmentEstimate {
+                    eet,
+                    ect: eet + delay,
+                    eec,
+                    rho,
+                },
+            })
+            .collect()
+    })
+}
+
+fn all_heuristics() -> Vec<Box<dyn Heuristic>> {
+    vec![
+        Box::new(ShortestQueue),
+        Box::new(MinimumExpectedCompletionTime),
+        Box::new(LightestLoad),
+        Box::new(RandomChoice::new(7)),
+        Box::new(OpportunisticLoadBalancing),
+        Box::new(MinimumExecutionTime),
+        Box::new(KPercentBest::default()),
+        Box::new(DeterministicMct),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_heuristic_returns_a_valid_index(cands in arb_candidates()) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        for mut h in all_heuristics() {
+            let idx = h.choose(&task(), &view, &cands);
+            let idx = idx.expect("non-empty candidates must yield a choice");
+            prop_assert!(idx < cands.len(), "{} returned {idx}", h.name());
+        }
+    }
+
+    #[test]
+    fn every_heuristic_abstains_on_empty(_x in 0..1i32) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        for mut h in all_heuristics() {
+            prop_assert_eq!(h.choose(&task(), &view, &[]), None);
+        }
+    }
+
+    #[test]
+    fn deterministic_heuristics_are_stable(cands in arb_candidates()) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        for build in [
+            || Box::new(ShortestQueue) as Box<dyn Heuristic>,
+            || Box::new(MinimumExpectedCompletionTime) as Box<dyn Heuristic>,
+            || Box::new(LightestLoad) as Box<dyn Heuristic>,
+            || Box::new(MinimumExecutionTime) as Box<dyn Heuristic>,
+        ] {
+            let a = build().choose(&task(), &view, &cands);
+            let b = build().choose(&task(), &view, &cands);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mect_choice_minimizes_ect(cands in arb_candidates()) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        let idx = MinimumExpectedCompletionTime
+            .choose(&task(), &view, &cands)
+            .unwrap();
+        let min = cands.iter().map(|c| c.est.ect).fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(cands[idx].est.ect, min);
+    }
+
+    #[test]
+    fn ll_choice_minimizes_load(cands in arb_candidates()) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        let idx = LightestLoad.choose(&task(), &view, &cands).unwrap();
+        let load = |c: &EvaluatedCandidate| c.est.eec * (1.0 - c.est.rho);
+        let min = cands.iter().map(load).fold(f64::INFINITY, f64::min);
+        prop_assert!((load(&cands[idx]) - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filters_only_shrink_and_preserve_membership(
+        cands in arb_candidates(),
+        remaining in 0.0f64..1e8,
+        thresh in 0.0f64..1.0,
+    ) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        let ctx = FilterCtx {
+            remaining_energy: remaining,
+            budget: 1e8,
+        };
+        let filters: Vec<Box<dyn Filter>> = vec![
+            Box::new(EnergyFilter::paper()),
+            Box::new(RobustnessFilter::with_threshold(thresh)),
+        ];
+        for f in filters {
+            let mut filtered = cands.clone();
+            f.retain(&task(), &view, &ctx, &mut filtered);
+            prop_assert!(filtered.len() <= cands.len());
+            for c in &filtered {
+                prop_assert!(cands.contains(c), "{} invented a candidate", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn robustness_filter_is_exact(cands in arb_candidates(), thresh in 0.0f64..1.0) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        let ctx = FilterCtx { remaining_energy: 1.0, budget: 1.0 };
+        let f = RobustnessFilter::with_threshold(thresh);
+        let mut filtered = cands.clone();
+        f.retain(&task(), &view, &ctx, &mut filtered);
+        let expected = cands.iter().filter(|c| c.est.rho >= thresh).count();
+        prop_assert_eq!(filtered.len(), expected);
+    }
+
+    #[test]
+    fn kpb_respects_its_shortlist(cands in arb_candidates(), k in 1.0f64..100.0) {
+        let s = scenario();
+        let view = SystemView::new(s.cluster(), s.table(), idle_cores(), 0.0, 1, 60);
+        let idx = KPercentBest::new(k).choose(&task(), &view, &cands).unwrap();
+        let keep = ((cands.len() as f64 * k / 100.0).ceil() as usize).max(1);
+        // The chosen candidate's EET rank must be within the shortlist.
+        let chosen_eet = cands[idx].est.eet;
+        let strictly_better = cands.iter().filter(|c| c.est.eet < chosen_eet).count();
+        prop_assert!(strictly_better < keep,
+            "choice ranked {strictly_better} by EET but shortlist is {keep}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Arrival-pattern variety (paper future work: "include a variety of
+//! arrival rates and patterns, to better understand how the relative
+//! performance of the heuristics changes under varying conditions").
+//!
+//! All generators return [`BurstPattern`]s (piecewise-constant-rate Poisson
+//! processes), so they plug straight into [`ecds_workload::WorkloadConfig`].
+
+use ecds_workload::{ArrivalPhase, BurstPattern};
+
+/// A sinusoidally-varying arrival rate, approximated by `phases`
+/// piecewise-constant segments:
+/// `rate(x) = base_rate · (1 + amplitude · sin(2π · periods · x))` where
+/// `x` sweeps 0→1 over the window. Tasks are split evenly across phases.
+pub fn sinusoidal(
+    count: usize,
+    base_rate: f64,
+    amplitude: f64,
+    periods: f64,
+    phases: usize,
+) -> BurstPattern {
+    assert!(base_rate > 0.0, "base rate must be positive");
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "amplitude must be in [0, 1) so rates stay positive"
+    );
+    assert!(periods > 0.0, "periods must be positive");
+    assert!(phases >= 1 && count >= phases, "need at least one task per phase");
+    let per_phase = count / phases;
+    let mut remainder = count % phases;
+    let mut out = Vec::with_capacity(phases);
+    for i in 0..phases {
+        let x = (i as f64 + 0.5) / phases as f64;
+        let rate = base_rate * (1.0 + amplitude * (2.0 * std::f64::consts::PI * periods * x).sin());
+        let mut n = per_phase;
+        if remainder > 0 {
+            n += 1;
+            remainder -= 1;
+        }
+        out.push(ArrivalPhase::new(n, rate));
+    }
+    BurstPattern::new(out)
+}
+
+/// `bursts` bursts of `burst_len` tasks at `fast_rate`, separated by lulls
+/// of `lull_len` tasks at `slow_rate` (generalizing the paper's
+/// two-burst/one-lull pattern).
+pub fn multi_burst(
+    bursts: usize,
+    burst_len: usize,
+    fast_rate: f64,
+    lull_len: usize,
+    slow_rate: f64,
+) -> BurstPattern {
+    assert!(bursts >= 1, "need at least one burst");
+    let mut phases = Vec::with_capacity(2 * bursts - 1);
+    for i in 0..bursts {
+        phases.push(ArrivalPhase::new(burst_len, fast_rate));
+        if i + 1 < bursts {
+            phases.push(ArrivalPhase::new(lull_len, slow_rate));
+        }
+    }
+    BurstPattern::new(phases)
+}
+
+/// A linear ramp from `start_rate` to `end_rate` over `phases` segments —
+/// models gradually increasing (or draining) load.
+pub fn ramp(count: usize, start_rate: f64, end_rate: f64, phases: usize) -> BurstPattern {
+    assert!(start_rate > 0.0 && end_rate > 0.0, "rates must be positive");
+    assert!(phases >= 1 && count >= phases, "need at least one task per phase");
+    let per_phase = count / phases;
+    let mut remainder = count % phases;
+    let mut out = Vec::with_capacity(phases);
+    for i in 0..phases {
+        let x = if phases == 1 {
+            0.5
+        } else {
+            i as f64 / (phases - 1) as f64
+        };
+        let rate = start_rate + (end_rate - start_rate) * x;
+        let mut n = per_phase;
+        if remainder > 0 {
+            n += 1;
+            remainder -= 1;
+        }
+        out.push(ArrivalPhase::new(n, rate));
+    }
+    BurstPattern::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecds_workload::arrivals::{LAMBDA_EQ, LAMBDA_FAST, LAMBDA_SLOW};
+
+    #[test]
+    fn sinusoidal_preserves_count_and_varies_rate() {
+        let p = sinusoidal(1000, LAMBDA_EQ, 0.5, 2.0, 20);
+        assert_eq!(p.total_tasks(), 1000);
+        let rates: Vec<f64> = p.phases().iter().map(|ph| ph.rate).collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min * 1.5, "rates should oscillate: {min}..{max}");
+        assert!(min > 0.0);
+    }
+
+    #[test]
+    fn sinusoidal_amplitude_zero_is_constant() {
+        let p = sinusoidal(100, 0.05, 0.0, 1.0, 4);
+        for ph in p.phases() {
+            assert!((ph.rate - 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_burst_alternates_phases() {
+        let p = multi_burst(3, 100, LAMBDA_FAST, 200, LAMBDA_SLOW);
+        assert_eq!(p.phases().len(), 5);
+        assert_eq!(p.total_tasks(), 3 * 100 + 2 * 200);
+        assert_eq!(p.phases()[0].rate, LAMBDA_FAST);
+        assert_eq!(p.phases()[1].rate, LAMBDA_SLOW);
+        assert_eq!(p.phases()[2].rate, LAMBDA_FAST);
+    }
+
+    #[test]
+    fn paper_pattern_is_a_multi_burst_special_case() {
+        let p = multi_burst(2, 200, LAMBDA_FAST, 600, LAMBDA_SLOW);
+        let paper = BurstPattern::paper();
+        assert_eq!(p.phases().len(), paper.phases().len());
+        for (a, b) in p.phases().iter().zip(paper.phases()) {
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.rate, b.rate);
+        }
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let p = ramp(500, 0.01, 0.2, 10);
+        assert_eq!(p.total_tasks(), 500);
+        let rates: Vec<f64> = p.phases().iter().map(|ph| ph.rate).collect();
+        assert!(rates.windows(2).all(|w| w[0] <= w[1]));
+        assert!((rates[0] - 0.01).abs() < 1e-12);
+        assert!((rates[9] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_single_phase_uses_midpoint() {
+        let p = ramp(10, 0.1, 0.3, 1);
+        assert!((p.phases()[0].rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_counts_distribute_remainder() {
+        let p = sinusoidal(103, 0.05, 0.3, 1.0, 10);
+        assert_eq!(p.total_tasks(), 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn full_amplitude_rejected() {
+        let _ = sinusoidal(100, 0.05, 1.0, 1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one burst")]
+    fn zero_bursts_rejected() {
+        let _ = multi_burst(0, 10, 0.1, 10, 0.01);
+    }
+}

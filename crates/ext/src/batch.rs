@@ -1,0 +1,484 @@
+//! Batch-mode mapping (paper future work: "a system with the ability to
+//! cancel and/or **reschedule** tasks"; compare the batch-mode predecessor
+//! [SmA10] the paper builds its robustness model on).
+//!
+//! The paper's resource manager commits a task to a core *and a position in
+//! that core's FIFO queue* the instant it arrives. Batch mode relaxes this:
+//! arriving tasks wait in a central pending bag and are only committed when
+//! a core is actually free, so every mapping event re-decides over the full
+//! bag — effectively rescheduling everything that has not started yet.
+//! Cores still run one task to completion and switch P-states only when
+//! idle, so the physical model is unchanged; only the commitment discipline
+//! differs.
+//!
+//! The engine here mirrors `ecds_sim::Simulation` (events, transition logs,
+//! Eq. 1–2 energy, exhaustion cutoff) but drives a [`BatchPolicy`] instead
+//! of a [`ecds_sim::Mapper`].
+
+use ecds_cluster::{Cluster, PState};
+use ecds_pmf::{truncate::truncate_below_or_floor, Pmf, Time};
+use ecds_sim::{EnergyAccountant, Scenario, TaskOutcome, Telemetry, TrialResult};
+use ecds_workload::{ExecTable, Task, WorkloadTrace};
+use std::collections::BinaryHeap;
+
+/// A decision made by a batch policy: start pending task `task_index` (an
+/// index into the pending bag it was shown) on `core` in `pstate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Index into the pending slice passed to the policy.
+    pub task_index: usize,
+    /// Flat core index (must be idle).
+    pub core: usize,
+    /// Chosen P-state.
+    pub pstate: PState,
+}
+
+/// State handed to a batch policy at each mapping event.
+#[derive(Debug)]
+pub struct BatchView<'a> {
+    /// The cluster.
+    pub cluster: &'a Cluster,
+    /// The execution-time table.
+    pub table: &'a ExecTable,
+    /// Current time.
+    pub now: Time,
+    /// Flat indices of idle cores.
+    pub idle_cores: &'a [usize],
+    /// Remaining energy ledger (budget minus EEC of started tasks).
+    pub remaining_energy: f64,
+}
+
+/// A batch-mode mapping policy: given the pending bag and the set of idle
+/// cores, choose which tasks to start where. Every returned dispatch must
+/// reference a distinct pending task and a distinct idle core.
+pub trait BatchPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides dispatches for this event.
+    fn dispatch(&mut self, pending: &[Task], view: &BatchView<'_>) -> Vec<Dispatch>;
+}
+
+/// Greedy maximum-robustness batch policy, after [SmA10]'s two-phase
+/// greedy: repeatedly pick the (pending task, idle core, P-state) triple
+/// with the best score until cores or tasks run out. The score prefers the
+/// highest on-time probability ρ, breaking near-ties toward lower expected
+/// energy (ρ is compared at a small tolerance so "certain either way"
+/// choices go to the frugal option).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchMaxRho {
+    rho_tolerance: f64,
+}
+
+impl BatchMaxRho {
+    /// Creates the policy with a ρ comparison tolerance (default 0.02).
+    /// Dispatch targets are always idle cores, so completion pmfs need no
+    /// convolution (hence no reduction policy parameter).
+    pub fn new(rho_tolerance: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho_tolerance), "tolerance in [0,1)");
+        Self { rho_tolerance }
+    }
+}
+
+impl Default for BatchMaxRho {
+    fn default() -> Self {
+        Self::new(0.02)
+    }
+}
+
+impl BatchPolicy for BatchMaxRho {
+    fn name(&self) -> &'static str {
+        "batch-max-rho"
+    }
+
+    fn dispatch(&mut self, pending: &[Task], view: &BatchView<'_>) -> Vec<Dispatch> {
+        let mut free: Vec<usize> = view.idle_cores.to_vec();
+        let mut unassigned: Vec<usize> = (0..pending.len()).collect();
+        let mut out = Vec::new();
+        while !free.is_empty() && !unassigned.is_empty() {
+            // Best (task, core, pstate) by (rho desc, eec asc).
+            let mut best: Option<(f64, f64, usize, usize, PState)> = None;
+            for (u_idx, &t_idx) in unassigned.iter().enumerate() {
+                let task = &pending[t_idx];
+                for (f_idx, &core) in free.iter().enumerate() {
+                    let node_idx = view.cluster.core(core).node;
+                    let node = view.cluster.node(node_idx);
+                    for pstate in PState::ALL {
+                        let exec = view.table.pmf(task.type_id, node_idx, pstate);
+                        // Idle core: completion = exec shifted to now.
+                        let rho = exec.prob_le(task.deadline - view.now);
+                        let eec = view.table.eet(task.type_id, node_idx, pstate)
+                            * node.power.watts(pstate)
+                            / node.efficiency;
+                        let better = match best {
+                            None => true,
+                            Some((b_rho, b_eec, ..)) => {
+                                rho > b_rho + self.rho_tolerance
+                                    || ((rho - b_rho).abs() <= self.rho_tolerance
+                                        && eec < b_eec)
+                            }
+                        };
+                        if better {
+                            best = Some((rho, eec, u_idx, f_idx, pstate));
+                        }
+                    }
+                }
+            }
+            let (_, _, u_idx, f_idx, pstate) = best.expect("non-empty sets");
+            let task_index = unassigned.swap_remove(u_idx);
+            let core = free.swap_remove(f_idx);
+            out.push(Dispatch {
+                task_index,
+                core,
+                pstate,
+            });
+        }
+        out
+    }
+}
+
+/// Earliest-deadline-first batch policy: dispatch the most urgent pending
+/// tasks first, each to the idle (core, P-state) minimizing its expected
+/// completion time — a deterministic, simple batch baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchEdf;
+
+impl BatchPolicy for BatchEdf {
+    fn name(&self) -> &'static str {
+        "batch-edf"
+    }
+
+    fn dispatch(&mut self, pending: &[Task], view: &BatchView<'_>) -> Vec<Dispatch> {
+        let mut by_deadline: Vec<usize> = (0..pending.len()).collect();
+        by_deadline.sort_by(|&a, &b| {
+            pending[a]
+                .deadline
+                .partial_cmp(&pending[b].deadline)
+                .expect("finite deadlines")
+        });
+        let mut free: Vec<usize> = view.idle_cores.to_vec();
+        let mut out = Vec::new();
+        for task_index in by_deadline {
+            if free.is_empty() {
+                break;
+            }
+            let task = &pending[task_index];
+            let mut best: Option<(f64, usize, PState)> = None;
+            for (f_idx, &core) in free.iter().enumerate() {
+                let node_idx = view.cluster.core(core).node;
+                for pstate in PState::ALL {
+                    let eet = view.table.eet(task.type_id, node_idx, pstate);
+                    if best.map(|(b, ..)| eet < b).unwrap_or(true) {
+                        best = Some((eet, f_idx, pstate));
+                    }
+                }
+            }
+            let (_, f_idx, pstate) = best.expect("free non-empty");
+            let core = free.swap_remove(f_idx);
+            out.push(Dispatch {
+                task_index,
+                core,
+                pstate,
+            });
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Arrival(usize),
+    Completion { core: usize, task: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueuedEv {
+    time: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Eq for QueuedEv {}
+impl Ord for QueuedEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueuedEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs one trial in batch mode and reports a [`TrialResult`] comparable
+/// with the immediate-mode engine's.
+pub fn run_batch(
+    scenario: &Scenario,
+    trace: &WorkloadTrace,
+    policy: &mut dyn BatchPolicy,
+) -> TrialResult {
+    let cluster = scenario.cluster();
+    let table = scenario.table();
+    let cfg = scenario.sim_config();
+    let tasks = trace.tasks();
+    let num_cores = cluster.total_cores();
+
+    let mut accountant = EnergyAccountant::new(cluster, 0.0, cfg.initial_pstate);
+    let mut busy: Vec<bool> = vec![false; num_cores];
+    let mut pending: Vec<usize> = Vec::new();
+    let mut remaining = scenario.energy_budget().unwrap_or(f64::INFINITY);
+    let mut telemetry = Telemetry::new();
+
+    let mut outcomes: Vec<TaskOutcome> = tasks
+        .iter()
+        .map(|t| TaskOutcome {
+            task: t.id,
+            type_id: t.type_id,
+            arrival: t.arrival,
+            deadline: t.deadline,
+            assignment: None,
+            start: None,
+            completion: None,
+            cancelled: false,
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<QueuedEv> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, task) in tasks.iter().enumerate() {
+        heap.push(QueuedEv {
+            time: task.arrival,
+            seq,
+            ev: Ev::Arrival(i),
+        });
+        seq += 1;
+    }
+
+    let mut end_time: Time = 0.0;
+    while let Some(event) = heap.pop() {
+        end_time = end_time.max(event.time);
+        match event.ev {
+            Ev::Arrival(i) => {
+                pending.push(i);
+                telemetry.sample(
+                    event.time,
+                    pending.len() as f64 / num_cores as f64,
+                    busy.iter().filter(|b| **b).count(),
+                );
+            }
+            Ev::Completion { core, task } => {
+                outcomes[task].completion = Some(event.time);
+                busy[core] = false;
+                if let Some(idle_state) = cfg.idle_downshift {
+                    accountant.record(core, event.time, idle_state);
+                }
+            }
+        }
+        // Mapping event: let the policy fill idle cores from the bag.
+        let idle: Vec<usize> = (0..num_cores).filter(|&c| !busy[c]).collect();
+        if idle.is_empty() || pending.is_empty() {
+            continue;
+        }
+        let bag: Vec<Task> = pending.iter().map(|&i| tasks[i]).collect();
+        let view = BatchView {
+            cluster,
+            table,
+            now: event.time,
+            idle_cores: &idle,
+            remaining_energy: remaining,
+        };
+        let dispatches = policy.dispatch(&bag, &view);
+        // Validate and apply.
+        let mut used_tasks = vec![false; bag.len()];
+        let mut used_cores = vec![false; num_cores];
+        let mut started: Vec<usize> = Vec::new();
+        for d in dispatches {
+            assert!(d.task_index < bag.len(), "dispatch of unknown task");
+            assert!(!used_tasks[d.task_index], "task dispatched twice");
+            assert!(idle.contains(&d.core), "dispatch to a busy core");
+            assert!(!used_cores[d.core], "core dispatched twice");
+            used_tasks[d.task_index] = true;
+            used_cores[d.core] = true;
+            let global = pending[d.task_index];
+            let task = &tasks[global];
+            let node_idx = cluster.core(d.core).node;
+            let node = cluster.node(node_idx);
+            accountant.record(d.core, event.time, d.pstate);
+            busy[d.core] = true;
+            outcomes[global].assignment = Some((d.core, d.pstate));
+            outcomes[global].start = Some(event.time);
+            remaining -=
+                table.eet(task.type_id, node_idx, d.pstate) * node.power.watts(d.pstate)
+                    / node.efficiency;
+            let actual = table.actual_time(task.type_id, node_idx, d.pstate, task.quantile);
+            heap.push(QueuedEv {
+                time: event.time + actual,
+                seq,
+                ev: Ev::Completion {
+                    core: d.core,
+                    task: global,
+                },
+            });
+            seq += 1;
+            started.push(d.task_index);
+        }
+        // Remove started tasks from the bag (descending order keeps
+        // indices valid).
+        started.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in started {
+            pending.swap_remove(idx);
+        }
+    }
+
+    accountant.finalize(end_time);
+    telemetry.power = accountant.power_timeline(cluster);
+    let total_energy = accountant.total_energy(cluster);
+    let exhausted_at = cfg
+        .energy_budget
+        .and_then(|b| accountant.exhaustion_time(cluster, b));
+    TrialResult::new_for_alternative_engines(
+        outcomes,
+        total_energy,
+        exhausted_at,
+        end_time,
+        telemetry,
+    )
+}
+
+/// The completion-time pmf of a batch-dispatched task (exposed for tests
+/// and analyses): on an idle core this is simply the execution pmf shifted
+/// to the dispatch time, truncated below `now` for consistency with the
+/// immediate-mode machinery.
+pub fn batch_completion_pmf(
+    table: &ExecTable,
+    task: &Task,
+    node: usize,
+    pstate: PState,
+    now: Time,
+) -> Pmf {
+    truncate_below_or_floor(&table.pmf(task.type_id, node, pstate).shift(now), now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecds_core::{build_scheduler, FilterVariant, HeuristicKind};
+    use ecds_sim::Simulation;
+
+    fn scenario() -> Scenario {
+        Scenario::small_for_tests(1353)
+    }
+
+    #[test]
+    fn batch_run_accounts_for_every_task() {
+        let s = scenario();
+        let trace = s.trace(0);
+        let r = run_batch(&s, &trace, &mut BatchMaxRho::default());
+        assert_eq!(r.window(), trace.len());
+        assert_eq!(r.missed() + r.completed(), r.window());
+        // Batch mode never discards: tasks wait in the bag until a core
+        // frees up.
+        for o in r.outcomes() {
+            assert!(o.assignment.is_some(), "task left unstarted");
+            assert!(o.completion.is_some());
+        }
+    }
+
+    #[test]
+    fn batch_starts_tasks_only_on_idle_cores() {
+        let s = scenario();
+        let trace = s.trace(0);
+        let r = run_batch(&s, &trace, &mut BatchEdf);
+        // No two tasks on the same core may overlap in time.
+        let mut per_core: std::collections::HashMap<usize, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for o in r.outcomes() {
+            if let (Some((core, _)), Some(start), Some(end)) =
+                (o.assignment, o.start, o.completion)
+            {
+                per_core.entry(core).or_default().push((start, end));
+            }
+        }
+        for (core, mut spans) in per_core {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "core {core} overlapped");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let s = scenario();
+        let trace = s.trace(1);
+        let a = run_batch(&s, &trace, &mut BatchMaxRho::default());
+        let b = run_batch(&s, &trace, &mut BatchMaxRho::default());
+        assert_eq!(a.outcomes(), b.outcomes());
+        assert_eq!(a.total_energy(), b.total_energy());
+    }
+
+    #[test]
+    fn batch_edf_starts_urgent_tasks_first() {
+        let s = scenario();
+        let trace = s.trace(0);
+        let r = run_batch(&s, &trace, &mut BatchEdf);
+        // Among tasks pending simultaneously, the earlier deadline must not
+        // start strictly later than a much later one... global assertion is
+        // subtle; check the policy directly instead.
+        let idle = vec![0usize];
+        let view = BatchView {
+            cluster: s.cluster(),
+            table: s.table(),
+            now: 0.0,
+            idle_cores: &idle,
+            remaining_energy: f64::INFINITY,
+        };
+        let t0 = trace.tasks()[0];
+        let mut urgent = t0;
+        urgent.deadline = 10.0;
+        let mut lax = t0;
+        lax.deadline = 1e9;
+        let d = BatchEdf.dispatch(&[lax, urgent], &view);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].task_index, 1, "EDF must pick the urgent task");
+        let _ = r;
+    }
+
+    #[test]
+    fn batch_rescheduling_competes_with_immediate_mode() {
+        // Not asserting superiority (depends on the draw), but batch mode
+        // must land in the same performance regime as the paper's best
+        // immediate-mode configuration.
+        let s = scenario();
+        let trace = s.trace(0);
+        let batch = run_batch(&s, &trace, &mut BatchMaxRho::default());
+        let mut imm = build_scheduler(
+            HeuristicKind::LightestLoad,
+            FilterVariant::EnergyAndRobustness,
+            &s,
+            0,
+        );
+        let immediate = Simulation::new(&s, &trace).run(imm.as_mut());
+        let window = trace.len() as isize;
+        let gap = batch.missed() as isize - immediate.missed() as isize;
+        assert!(
+            gap.abs() <= window / 2,
+            "batch {} vs immediate {}",
+            batch.missed(),
+            immediate.missed()
+        );
+    }
+
+    #[test]
+    fn completion_pmf_shifts_to_dispatch_time() {
+        let s = scenario();
+        let trace = s.trace(0);
+        let task = trace.tasks()[0];
+        let pmf = batch_completion_pmf(s.table(), &task, 0, PState::P1, 500.0);
+        assert!(pmf.min_value() >= 500.0);
+    }
+}

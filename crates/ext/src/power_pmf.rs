@@ -1,0 +1,217 @@
+//! Stochastic power consumption (paper future work: "use full probability
+//! distributions to represent power consumption, instead of assuming that
+//! power consumption is a constant representing an average value").
+//!
+//! Power draw in a P-state fluctuates with workload content. We model
+//! `μ(i, π)` as a gamma-distributed random variable whose mean is the
+//! deterministic CMOS value and whose coefficient of variation is a model
+//! parameter. Because energy integrates power over many independent
+//! segments, total-trial energy concentrates sharply around its mean
+//! (CLT); [`EnergyUncertainty`] propagates segment-level variance to a
+//! cluster-level standard deviation so users can judge how much the
+//! scalar-power simplification actually costs.
+
+use ecds_cluster::{Cluster, PState, NUM_PSTATES};
+use ecds_pmf::Gamma;
+use ecds_sim::EnergyAccountant;
+use rand::Rng;
+
+/// Per-(node, P-state) stochastic power model.
+#[derive(Debug, Clone)]
+pub struct StochasticPowerModel {
+    /// `[node][pstate]` gamma laws; mean equals the deterministic model.
+    laws: Vec<[Gamma; NUM_PSTATES]>,
+    cv: f64,
+}
+
+impl StochasticPowerModel {
+    /// Wraps `cluster`'s deterministic power profiles in gamma laws with
+    /// coefficient of variation `cv`.
+    pub fn new(cluster: &Cluster, cv: f64) -> Self {
+        assert!(cv.is_finite() && cv > 0.0, "cv must be positive");
+        let laws = cluster
+            .nodes()
+            .iter()
+            .map(|node| {
+                std::array::from_fn(|s| {
+                    Gamma::from_mean_cv(node.power.watts(PState::from_index(s)), cv)
+                })
+            })
+            .collect();
+        Self { laws, cv }
+    }
+
+    /// The model's coefficient of variation.
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Expected power of `(node, state)` — identical to the deterministic
+    /// model by construction.
+    pub fn expected_watts(&self, node: usize, state: PState) -> f64 {
+        self.laws[node][state.index()].mean()
+    }
+
+    /// Power variance of `(node, state)`.
+    pub fn variance(&self, node: usize, state: PState) -> f64 {
+        self.laws[node][state.index()].variance()
+    }
+
+    /// Draws one realized power value.
+    pub fn sample_watts<R: Rng + ?Sized>(
+        &self,
+        node: usize,
+        state: PState,
+        rng: &mut R,
+    ) -> f64 {
+        self.laws[node][state.index()].sample(rng)
+    }
+}
+
+/// Mean and standard deviation of a trial's total wall energy under a
+/// stochastic power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyUncertainty {
+    /// Expected total wall energy (matches the deterministic accountant).
+    pub mean: f64,
+    /// Standard deviation induced by power fluctuation (independent
+    /// per-segment draws).
+    pub std_dev: f64,
+}
+
+impl EnergyUncertainty {
+    /// Propagates `model`'s per-segment power variance through a finalized
+    /// accountant: each constant-power segment of duration `Δt` contributes
+    /// `E[P]·Δt` to the mean and `Var[P]·Δt²` to the variance (segments
+    /// independent), both divided by the node's supply efficiency.
+    pub fn from_accountant(
+        accountant: &EnergyAccountant,
+        cluster: &Cluster,
+        model: &StochasticPowerModel,
+    ) -> Self {
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for core_id in cluster.cores() {
+            let node = cluster.node_of(*core_id);
+            let log = accountant.log(core_id.flat);
+            assert!(log.is_finalized(), "finalize the accountant first");
+            // Reconstruct the segments the same way core_energy does.
+            let entries = log.entries();
+            let mut add_segment = |state: PState, dt: f64| {
+                let eff = node.efficiency;
+                mean += model.expected_watts(core_id.node, state) * dt / eff;
+                var += model.variance(core_id.node, state) * dt * dt / (eff * eff);
+            };
+            for w in entries.windows(2) {
+                add_segment(w[0].1, w[1].0 - w[0].0);
+            }
+            if let (Some(&(t_last, s_last)), Some(end)) = (entries.last(), log.end_time()) {
+                add_segment(s_last, end - t_last);
+            }
+        }
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Relative uncertainty `std_dev / mean` (0 when mean is 0).
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecds_cluster::{generate_cluster, ClusterGenConfig};
+    use ecds_pmf::SeedDerive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster() -> Cluster {
+        generate_cluster(&ClusterGenConfig::small_for_tests(), &SeedDerive::new(3))
+    }
+
+    #[test]
+    fn expected_watts_match_deterministic_model() {
+        let c = cluster();
+        let m = StochasticPowerModel::new(&c, 0.1);
+        for (n, node) in c.nodes().iter().enumerate() {
+            for s in PState::ALL {
+                assert!((m.expected_watts(n, s) - node.power.watts(s)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_scatter_around_mean() {
+        let c = cluster();
+        let m = StochasticPowerModel::new(&c, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean_expected = m.expected_watts(0, PState::P0);
+        let mean_sampled: f64 = (0..n)
+            .map(|_| m.sample_watts(0, PState::P0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_sampled - mean_expected).abs() / mean_expected < 0.02);
+    }
+
+    #[test]
+    fn uncertainty_mean_matches_deterministic_energy() {
+        let c = cluster();
+        let m = StochasticPowerModel::new(&c, 0.15);
+        let mut acc = EnergyAccountant::new(&c, 0.0, PState::P4);
+        acc.record(0, 5.0, PState::P0);
+        acc.record(0, 9.0, PState::P2);
+        acc.finalize(20.0);
+        let unc = EnergyUncertainty::from_accountant(&acc, &c, &m);
+        let det = acc.total_energy(&c);
+        assert!(
+            (unc.mean - det).abs() / det < 1e-9,
+            "mean {} vs deterministic {det}",
+            unc.mean
+        );
+        assert!(unc.std_dev > 0.0);
+    }
+
+    #[test]
+    fn higher_cv_means_more_uncertainty() {
+        let c = cluster();
+        let mut acc = EnergyAccountant::new(&c, 0.0, PState::P4);
+        acc.finalize(100.0);
+        let lo = EnergyUncertainty::from_accountant(&acc, &c, &StochasticPowerModel::new(&c, 0.05));
+        let hi = EnergyUncertainty::from_accountant(&acc, &c, &StochasticPowerModel::new(&c, 0.30));
+        assert!(hi.std_dev > lo.std_dev);
+        assert!((hi.mean - lo.mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_uncertainty_is_small_for_long_trials() {
+        // CLT: one long segment has relative sd = cv (fully correlated
+        // within the segment), but many independent segments average out.
+        let c = cluster();
+        let m = StochasticPowerModel::new(&c, 0.2);
+        let mut acc = EnergyAccountant::new(&c, 0.0, PState::P4);
+        // Many alternating segments on core 0.
+        let mut t = 0.0;
+        for i in 0..200 {
+            t += 1.0;
+            acc.record(0, t, if i % 2 == 0 { PState::P0 } else { PState::P3 });
+        }
+        acc.finalize(t + 1.0);
+        let unc = EnergyUncertainty::from_accountant(&acc, &c, &m);
+        assert!(unc.relative() < 0.2, "relative {}", unc.relative());
+    }
+
+    #[test]
+    #[should_panic(expected = "cv must be positive")]
+    fn zero_cv_rejected() {
+        let _ = StochasticPowerModel::new(&cluster(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Distances between pmfs — used to quantify what impulse reduction and
+//! other approximations cost.
+//!
+//! Two metrics matter for this workspace:
+//!
+//! * **Kolmogorov–Smirnov** (`sup |F − G|`): bounds the error of any
+//!   deadline-tail query `P(X ≤ δ)` — exactly the quantity the robustness
+//!   value ρ reads off a completion-time pmf, so the KS distance between an
+//!   exact and a reduced pmf bounds the ρ error the reduction can cause.
+//! * **1-Wasserstein** (`∫ |F − G|`): the "earth mover" cost; bounds the
+//!   error of expectations of Lipschitz functions, hence of ECT.
+
+use crate::pmf::Pmf;
+
+/// The Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
+pub fn kolmogorov_smirnov(a: &Pmf, b: &Pmf) -> f64 {
+    let mut max_gap = 0.0f64;
+    let mut fa = 0.0;
+    let mut fb = 0.0;
+    let (mut i, mut j) = (0, 0);
+    let ia = a.impulses();
+    let ib = b.impulses();
+    while i < ia.len() || j < ib.len() {
+        let xa = ia.get(i).map(|imp| imp.value).unwrap_or(f64::INFINITY);
+        let xb = ib.get(j).map(|imp| imp.value).unwrap_or(f64::INFINITY);
+        if xa <= xb {
+            fa += ia[i].prob;
+            i += 1;
+        }
+        if xb <= xa {
+            fb += ib[j].prob;
+            j += 1;
+        }
+        max_gap = max_gap.max((fa - fb).abs());
+    }
+    max_gap.min(1.0)
+}
+
+/// The 1-Wasserstein distance `∫ |F_a(x) − F_b(x)| dx`.
+pub fn wasserstein_1(a: &Pmf, b: &Pmf) -> f64 {
+    // Merge the supports and integrate the CDF gap over each interval.
+    let mut xs: Vec<f64> = a
+        .impulses()
+        .iter()
+        .chain(b.impulses())
+        .map(|imp| imp.value)
+        .collect();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite support"));
+    xs.dedup();
+    let mut total = 0.0;
+    for w in xs.windows(2) {
+        let gap = (a.prob_le(w[0]) - b.prob_le(w[0])).abs();
+        total += gap * (w[1] - w[0]);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReductionPolicy;
+
+    fn uniform(n: usize, scale: f64) -> Pmf {
+        let pairs: Vec<(f64, f64)> = (0..n).map(|i| (i as f64 * scale, 1.0)).collect();
+        Pmf::from_pairs(&pairs).unwrap()
+    }
+
+    #[test]
+    fn identical_pmfs_have_zero_distance() {
+        let p = uniform(10, 1.0);
+        assert_eq!(kolmogorov_smirnov(&p, &p), 0.0);
+        assert_eq!(wasserstein_1(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn disjoint_singletons_ks_is_one() {
+        let a = Pmf::singleton(0.0);
+        let b = Pmf::singleton(10.0);
+        assert_eq!(kolmogorov_smirnov(&a, &b), 1.0);
+        assert!((wasserstein_1(&a, &b) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_of_shift_is_the_shift() {
+        let p = uniform(8, 2.0);
+        let q = p.shift(5.0);
+        assert!((wasserstein_1(&p, &q) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let a = uniform(5, 1.0);
+        let b = uniform(9, 1.3);
+        assert!((kolmogorov_smirnov(&a, &b) - kolmogorov_smirnov(&b, &a)).abs() < 1e-12);
+        assert!((wasserstein_1(&a, &b) - wasserstein_1(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_error_is_bounded_by_bucket_mass() {
+        // Equal-mass reduction to k impulses keeps KS error ≲ 1/k.
+        let p = uniform(200, 1.0);
+        for cap in [10usize, 20, 50] {
+            let r = p.reduce(ReductionPolicy::new(cap));
+            let ks = kolmogorov_smirnov(&p, &r);
+            assert!(ks <= 1.5 / cap as f64, "cap {cap}: ks {ks}");
+        }
+    }
+
+    #[test]
+    fn ks_bounds_deadline_query_error() {
+        let p = uniform(100, 3.0);
+        let r = p.reduce(ReductionPolicy::new(12));
+        let ks = kolmogorov_smirnov(&p, &r);
+        for deadline in [30.0, 90.0, 150.0, 250.0] {
+            let gap = (p.prob_le(deadline) - r.prob_le(deadline)).abs();
+            assert!(gap <= ks + 1e-12, "deadline {deadline}: gap {gap} > ks {ks}");
+        }
+    }
+
+    #[test]
+    fn triangle_like_monotonicity() {
+        // A coarser reduction is at least as far away (not a strict law,
+        // but holds for nested equal-mass reductions of a uniform pmf).
+        let p = uniform(128, 1.0);
+        let fine = p.reduce(ReductionPolicy::new(32));
+        let coarse = p.reduce(ReductionPolicy::new(4));
+        assert!(wasserstein_1(&p, &coarse) >= wasserstein_1(&p, &fine));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for pmf construction and manipulation.
+
+use std::fmt;
+
+/// Errors produced while constructing or transforming a [`crate::Pmf`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmfError {
+    /// The impulse list supplied to a constructor was empty.
+    Empty,
+    /// An impulse carried a non-finite or non-positive probability.
+    InvalidProbability {
+        /// The offending probability value.
+        prob: f64,
+    },
+    /// An impulse carried a non-finite support value.
+    InvalidValue {
+        /// The offending support value.
+        value: f64,
+    },
+    /// The probabilities did not sum to one within [`crate::MASS_EPSILON`].
+    NotNormalized {
+        /// The actual total mass observed.
+        total: f64,
+    },
+    /// A truncation removed all probability mass (every outcome was in the
+    /// past), so no valid distribution remains.
+    AllMassTruncated,
+    /// A quantile query was outside `[0, 1]`.
+    InvalidQuantile {
+        /// The offending quantile.
+        u: f64,
+    },
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::Empty => write!(f, "pmf must contain at least one impulse"),
+            PmfError::InvalidProbability { prob } => {
+                write!(f, "impulse probability {prob} is not finite and positive")
+            }
+            PmfError::InvalidValue { value } => {
+                write!(f, "impulse value {value} is not finite")
+            }
+            PmfError::NotNormalized { total } => {
+                write!(f, "pmf mass {total} does not sum to 1")
+            }
+            PmfError::AllMassTruncated => {
+                write!(f, "truncation removed all probability mass")
+            }
+            PmfError::InvalidQuantile { u } => {
+                write!(f, "quantile {u} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(PmfError::Empty.to_string().contains("at least one"));
+        assert!(PmfError::InvalidProbability { prob: -0.5 }
+            .to_string()
+            .contains("-0.5"));
+        assert!(PmfError::InvalidValue { value: f64::NAN }
+            .to_string()
+            .contains("NaN"));
+        assert!(PmfError::NotNormalized { total: 0.7 }
+            .to_string()
+            .contains("0.7"));
+        assert!(PmfError::AllMassTruncated.to_string().contains("truncation"));
+        assert!(PmfError::InvalidQuantile { u: 1.5 }.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<PmfError>();
+    }
+}

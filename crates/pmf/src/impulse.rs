@@ -1,0 +1,80 @@
+//! A single (value, probability) impulse of a discrete distribution.
+
+use crate::{Prob, Time};
+
+/// One impulse of a discrete probability mass function: the outcome `value`
+/// occurs with probability `prob`.
+///
+/// Impulses inside a [`crate::Pmf`] are always sorted by `value`, carry
+/// strictly positive probability, and jointly sum to one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impulse {
+    /// The support point (for this workspace: a time, in abstract units).
+    pub value: Time,
+    /// The probability mass at `value`.
+    pub prob: Prob,
+}
+
+impl Impulse {
+    /// Creates a new impulse.
+    #[inline]
+    pub const fn new(value: Time, prob: Prob) -> Self {
+        Self { value, prob }
+    }
+
+    /// `true` when both fields are finite and the probability is strictly
+    /// positive — the invariant every impulse stored in a pmf satisfies.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.value.is_finite() && self.prob.is_finite() && self.prob > 0.0
+    }
+
+    /// The contribution of this impulse to the distribution mean.
+    #[inline]
+    pub fn weighted_value(&self) -> f64 {
+        self.value * self.prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_impulse() {
+        assert!(Impulse::new(3.0, 0.25).is_valid());
+    }
+
+    #[test]
+    fn zero_probability_is_invalid() {
+        assert!(!Impulse::new(3.0, 0.0).is_valid());
+    }
+
+    #[test]
+    fn negative_probability_is_invalid() {
+        assert!(!Impulse::new(3.0, -0.1).is_valid());
+    }
+
+    #[test]
+    fn non_finite_value_is_invalid() {
+        assert!(!Impulse::new(f64::INFINITY, 0.5).is_valid());
+        assert!(!Impulse::new(f64::NAN, 0.5).is_valid());
+    }
+
+    #[test]
+    fn non_finite_probability_is_invalid() {
+        assert!(!Impulse::new(1.0, f64::NAN).is_valid());
+    }
+
+    #[test]
+    fn weighted_value_is_product() {
+        assert_eq!(Impulse::new(4.0, 0.5).weighted_value(), 2.0);
+    }
+
+    #[test]
+    fn negative_values_are_allowed() {
+        // Support values may be negative in general pmf algebra (e.g. after
+        // shifting); validity only demands finiteness.
+        assert!(Impulse::new(-7.5, 0.3).is_valid());
+    }
+}

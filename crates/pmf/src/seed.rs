@@ -1,0 +1,148 @@
+//! Deterministic seed derivation for independent random substreams.
+//!
+//! The simulation study needs many *statistically independent yet
+//! reproducible* random streams: one for the cluster layout, one per
+//! (task-type, node) execution-time pmf, one per trial for arrivals, task
+//! types, and actual-time quantiles, and one per Random-heuristic scheduler
+//! instance. Deriving them all from a single master seed through a mixing
+//! function means a whole 800-run experiment grid is reproducible from one
+//! `u64`, and trials can be executed in parallel in any order without
+//! sharing RNG state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives named, independent substream seeds from a master seed.
+///
+/// Derivation mixes the master seed with a stream label and indices through
+/// SplitMix64 finalization steps — the standard remedy for correlated seeds
+/// (Steele et al., "Fast Splittable Pseudorandom Number Generators").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedDerive {
+    master: u64,
+}
+
+/// Stream labels, kept centralized so no two subsystems collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Stream {
+    /// Cluster topology, P-state ladders, power profiles, efficiencies.
+    Cluster = 1,
+    /// CVB execution-time mean matrix.
+    EtcMatrix = 2,
+    /// Execution-time pmf shapes per (task type, node).
+    ExecPmf = 3,
+    /// Per-trial task-type selection.
+    TaskTypes = 4,
+    /// Per-trial arrival process.
+    Arrivals = 5,
+    /// Per-trial actual-execution-time quantiles.
+    Quantiles = 6,
+    /// Random-heuristic tie-breaking / selection.
+    Heuristic = 7,
+    /// Extension experiments (priorities, cancellation, ...).
+    Extension = 8,
+}
+
+impl SeedDerive {
+    /// Wraps a master seed.
+    pub const fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed.
+    pub const fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the `u64` seed for `(stream, a, b)`.
+    ///
+    /// `a` and `b` are caller-defined indices (trial number, task-type id,
+    /// node id, ...); pass 0 when unused.
+    pub fn seed(&self, stream: Stream, a: u64, b: u64) -> u64 {
+        let mut x = self.master;
+        x = splitmix64(x ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x = splitmix64(x ^ a.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x = splitmix64(x ^ b.wrapping_mul(0x94D0_49BB_1331_11EB));
+        x
+    }
+
+    /// Builds a [`StdRng`] for `(stream, a, b)`.
+    pub fn rng(&self, stream: Stream, a: u64, b: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed(stream, a, b))
+    }
+}
+
+/// SplitMix64 finalizer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_seed() {
+        let d = SeedDerive::new(42);
+        assert_eq!(
+            d.seed(Stream::Arrivals, 3, 0),
+            d.seed(Stream::Arrivals, 3, 0)
+        );
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let d = SeedDerive::new(42);
+        assert_ne!(
+            d.seed(Stream::Arrivals, 0, 0),
+            d.seed(Stream::Quantiles, 0, 0)
+        );
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let d = SeedDerive::new(42);
+        assert_ne!(d.seed(Stream::Arrivals, 0, 0), d.seed(Stream::Arrivals, 1, 0));
+        assert_ne!(d.seed(Stream::ExecPmf, 5, 0), d.seed(Stream::ExecPmf, 5, 1));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(
+            SeedDerive::new(1).seed(Stream::Cluster, 0, 0),
+            SeedDerive::new(2).seed(Stream::Cluster, 0, 0)
+        );
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible() {
+        let d = SeedDerive::new(7);
+        let a: Vec<u64> = d.rng(Stream::TaskTypes, 9, 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u64> = d.rng(Stream::TaskTypes, 9, 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adjacent_trial_streams_look_uncorrelated() {
+        // Crude independence check: first draws of 64 adjacent trial streams
+        // should not share obvious structure (all-distinct is a cheap proxy).
+        let d = SeedDerive::new(123);
+        let mut firsts: Vec<u64> = (0..64)
+            .map(|t| d.rng(Stream::Arrivals, t, 0).gen())
+            .collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 64);
+    }
+
+    #[test]
+    fn zero_master_is_usable() {
+        let d = SeedDerive::new(0);
+        assert_ne!(d.seed(Stream::Cluster, 0, 0), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Trial results: per-task outcomes and the paper's headline metric.
+
+use ecds_cluster::PState;
+use ecds_pmf::Time;
+use ecds_workload::{TaskId, TaskTypeId};
+
+use crate::telemetry::Telemetry;
+
+/// What happened to one task during a trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskOutcome {
+    /// The task.
+    pub task: TaskId,
+    /// Its type.
+    pub type_id: TaskTypeId,
+    /// Arrival (= mapping) time.
+    pub arrival: Time,
+    /// Hard deadline `δ(z)`.
+    pub deadline: Time,
+    /// Chosen assignment, or `None` when the mapper discarded the task.
+    pub assignment: Option<(usize, PState)>,
+    /// When the task began executing (if assigned).
+    pub start: Option<Time>,
+    /// When it finished (tasks run to completion even past their deadlines —
+    /// the resource manager cannot cancel them, unless the
+    /// `cancel_overdue` extension is enabled).
+    pub completion: Option<Time>,
+    /// `true` when the `cancel_overdue` extension dropped the task at the
+    /// moment it would have started (its deadline had already passed).
+    pub cancelled: bool,
+}
+
+impl TaskOutcome {
+    /// `true` when the task finished by its deadline (ignoring energy).
+    pub fn on_time(&self) -> bool {
+        matches!(self.completion, Some(c) if c <= self.deadline)
+    }
+
+    /// `true` when the task counts as completed for the paper's metric:
+    /// finished by its deadline *and* before the energy budget ran out.
+    pub fn counted(&self, exhausted_at: Option<Time>) -> bool {
+        match (self.completion, exhausted_at) {
+            (Some(c), Some(cutoff)) => c <= self.deadline && c <= cutoff,
+            (Some(c), None) => c <= self.deadline,
+            (None, _) => false,
+        }
+    }
+}
+
+/// The result of one simulated trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    outcomes: Vec<TaskOutcome>,
+    total_energy: f64,
+    exhausted_at: Option<Time>,
+    makespan: Time,
+    telemetry: Telemetry,
+}
+
+impl TrialResult {
+    /// Assembles a result (engine-internal).
+    pub(crate) fn new(
+        outcomes: Vec<TaskOutcome>,
+        total_energy: f64,
+        exhausted_at: Option<Time>,
+        makespan: Time,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self {
+            outcomes,
+            total_energy,
+            exhausted_at,
+            makespan,
+            telemetry,
+        }
+    }
+
+    /// Public constructor for alternative engines (e.g. the batch-mode
+    /// engine in `ecds-ext`) that produce results comparable with the
+    /// bundled immediate-mode engine's. `outcomes` must be in task-id
+    /// order.
+    pub fn new_for_alternative_engines(
+        outcomes: Vec<TaskOutcome>,
+        total_energy: f64,
+        exhausted_at: Option<Time>,
+        makespan: Time,
+        telemetry: Telemetry,
+    ) -> Self {
+        assert!(
+            outcomes
+                .iter()
+                .enumerate()
+                .all(|(i, o)| o.task.0 == i),
+            "outcomes must be dense and in task-id order"
+        );
+        Self::new(outcomes, total_energy, exhausted_at, makespan, telemetry)
+    }
+
+    /// Time series sampled during the trial.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Per-task outcomes in arrival order.
+    pub fn outcomes(&self) -> &[TaskOutcome] {
+        &self.outcomes
+    }
+
+    /// The window size (total tasks in the trial).
+    pub fn window(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total wall energy actually consumed over the whole trial (Eq. 2) —
+    /// includes idle draw, so it can exceed the budget; the budget caps
+    /// *credited* work via the cutoff, not physical consumption.
+    pub fn total_energy(&self) -> f64 {
+        self.total_energy
+    }
+
+    /// The exact time the energy budget was exhausted, if it was.
+    pub fn exhausted_at(&self) -> Option<Time> {
+        self.exhausted_at
+    }
+
+    /// Completion time of the last task (or last arrival when nothing ran).
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Tasks completed by their deadlines within the energy constraint —
+    /// the quantity the paper maximizes.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.counted(self.exhausted_at))
+            .count()
+    }
+
+    /// Missed deadlines (the figures' y-axis): window minus completed.
+    /// Includes discarded tasks and tasks finishing after the energy
+    /// cutoff.
+    pub fn missed(&self) -> usize {
+        self.window() - self.completed()
+    }
+
+    /// Tasks the mapper discarded (filters eliminated every assignment).
+    pub fn discarded(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.assignment.is_none())
+            .count()
+    }
+
+    /// Tasks cancelled by the `cancel_overdue` extension (always 0 in
+    /// paper-faithful runs).
+    pub fn cancelled(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cancelled).count()
+    }
+
+    /// Tasks that finished by their deadlines ignoring the energy cutoff
+    /// (diagnostic; equals [`TrialResult::completed`] when the budget never
+    /// ran out).
+    pub fn on_time_ignoring_energy(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.on_time()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(completion: Option<f64>, deadline: f64) -> TaskOutcome {
+        TaskOutcome {
+            task: TaskId(0),
+            type_id: TaskTypeId(0),
+            arrival: 0.0,
+            deadline,
+            assignment: completion.map(|_| (0, PState::P0)),
+            start: completion.map(|_| 0.0),
+            completion,
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn on_time_requires_completion_before_deadline() {
+        assert!(outcome(Some(5.0), 10.0).on_time());
+        assert!(outcome(Some(10.0), 10.0).on_time());
+        assert!(!outcome(Some(11.0), 10.0).on_time());
+        assert!(!outcome(None, 10.0).on_time());
+    }
+
+    #[test]
+    fn counted_applies_energy_cutoff() {
+        let o = outcome(Some(5.0), 10.0);
+        assert!(o.counted(None));
+        assert!(o.counted(Some(5.0)));
+        assert!(!o.counted(Some(4.9)));
+    }
+
+    #[test]
+    fn result_counts_are_consistent() {
+        let outcomes = vec![
+            outcome(Some(5.0), 10.0),  // counted
+            outcome(Some(12.0), 10.0), // late
+            outcome(None, 10.0),       // discarded
+            outcome(Some(20.0), 30.0), // on time but after cutoff
+        ];
+        let r = TrialResult::new(outcomes, 100.0, Some(15.0), 20.0, Telemetry::new());
+        assert_eq!(r.window(), 4);
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.missed(), 3);
+        assert_eq!(r.discarded(), 1);
+        assert_eq!(r.on_time_ignoring_energy(), 2);
+        assert_eq!(r.total_energy(), 100.0);
+        assert_eq!(r.exhausted_at(), Some(15.0));
+        assert_eq!(r.makespan(), 20.0);
+    }
+
+    #[test]
+    fn missed_plus_completed_equals_window() {
+        let outcomes = vec![outcome(Some(1.0), 2.0); 7];
+        let r = TrialResult::new(outcomes, 0.0, None, 1.0, Telemetry::new());
+        assert_eq!(r.missed() + r.completed(), r.window());
+    }
+}

@@ -1,0 +1,127 @@
+//! Trial telemetry: time series recorded during simulation.
+//!
+//! The engine samples system state at every arrival event (the moments the
+//! mapper acts); the energy side is reconstructed exactly from the
+//! transition logs after the run. Telemetry powers the `telemetry_trace`
+//! example and diagnosis of burst behaviour (queue build-up during λ_fast,
+//! drain during the lull).
+
+use ecds_pmf::Time;
+
+/// Time series captured during one trial.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// `(arrival time, instantaneous average queue depth)` — the quantity
+    /// the energy filter's ζ_mul adapts on.
+    pub queue_depth: Vec<(Time, f64)>,
+    /// `(arrival time, cores currently executing a task)`.
+    pub busy_cores: Vec<(Time, usize)>,
+    /// The exact piecewise-constant total cluster wall power: `(time,
+    /// watts)` holding from each entry to the next (reconstructed from the
+    /// P-state transition logs after the run; integrating it over the
+    /// makespan reproduces the trial's total energy exactly).
+    pub power: Vec<(Time, f64)>,
+}
+
+impl Telemetry {
+    /// An empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one arrival-time sample (called by simulation engines).
+    pub fn sample(&mut self, time: Time, avg_depth: f64, busy: usize) {
+        self.queue_depth.push((time, avg_depth));
+        self.busy_cores.push((time, busy));
+    }
+
+    /// Peak average queue depth over the trial.
+    pub fn peak_queue_depth(&self) -> f64 {
+        self.queue_depth
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0.0, f64::max)
+    }
+
+    /// Resamples a series onto `buckets` equal time intervals (mean of the
+    /// samples in each bucket, carrying the previous value through empty
+    /// buckets) — the shape sparkline rendering wants.
+    pub fn resample(series: &[(Time, f64)], buckets: usize) -> Vec<f64> {
+        assert!(buckets >= 1, "need at least one bucket");
+        if series.is_empty() {
+            return vec![0.0; buckets];
+        }
+        let t0 = series[0].0;
+        let t1 = series[series.len() - 1].0;
+        let span = (t1 - t0).max(f64::MIN_POSITIVE);
+        let mut sums = vec![0.0f64; buckets];
+        let mut counts = vec![0usize; buckets];
+        for &(t, v) in series {
+            let idx = (((t - t0) / span) * buckets as f64).min(buckets as f64 - 1.0) as usize;
+            sums[idx] += v;
+            counts[idx] += 1;
+        }
+        let mut out = Vec::with_capacity(buckets);
+        let mut last = series[0].1;
+        for (sum, count) in sums.into_iter().zip(counts) {
+            if count > 0 {
+                last = sum / count as f64;
+            }
+            out.push(last);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_accumulates_in_order() {
+        let mut t = Telemetry::new();
+        t.sample(1.0, 0.5, 2);
+        t.sample(2.0, 1.5, 3);
+        assert_eq!(t.queue_depth, vec![(1.0, 0.5), (2.0, 1.5)]);
+        assert_eq!(t.busy_cores, vec![(1.0, 2), (2.0, 3)]);
+        assert_eq!(t.peak_queue_depth(), 1.5);
+    }
+
+    #[test]
+    fn peak_of_empty_is_zero() {
+        assert_eq!(Telemetry::new().peak_queue_depth(), 0.0);
+    }
+
+    #[test]
+    fn resample_means_within_buckets() {
+        let series = vec![(0.0, 1.0), (1.0, 3.0), (9.0, 10.0), (10.0, 20.0)];
+        let out = Telemetry::resample(&series, 2);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - 2.0).abs() < 1e-12); // mean of 1 and 3
+        assert!((out[1] - 15.0).abs() < 1e-12); // mean of 10 and 20
+    }
+
+    #[test]
+    fn resample_carries_last_value_through_gaps() {
+        let series = vec![(0.0, 4.0), (100.0, 8.0)];
+        let out = Telemetry::resample(&series, 4);
+        assert_eq!(out, vec![4.0, 4.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn resample_empty_series_is_zeros() {
+        assert_eq!(Telemetry::resample(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn resample_zero_buckets_rejected() {
+        let _ = Telemetry::resample(&[(0.0, 1.0)], 0);
+    }
+
+    #[test]
+    fn single_sample_fills_all_buckets() {
+        let out = Telemetry::resample(&[(5.0, 7.0)], 3);
+        assert_eq!(out, vec![7.0, 7.0, 7.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! The mapper interface: what a resource-allocation heuristic sees and
+//! returns at each immediate-mode mapping event.
+
+use ecds_cluster::{Cluster, PState};
+use ecds_pmf::Time;
+use ecds_workload::{ExecTable, Task};
+
+use crate::state::CoreState;
+
+/// The decision a mapper returns: run the task on the core with flat index
+/// `core`, in `pstate`. An *assignment* in the paper's sense is the full
+/// (node, multicore processor, core, P-state) tuple; the flat index encodes
+/// the first three (see [`Cluster::core`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Flat core index into [`Cluster::cores`].
+    pub core: usize,
+    /// The DVFS P-state the task will execute in.
+    pub pstate: PState,
+}
+
+/// A resource-allocation heuristic operating in immediate mode.
+///
+/// The simulator calls [`Mapper::assign`] once per task, at its arrival
+/// instant. Returning `None` discards the task (the paper's filters may
+/// eliminate every feasible assignment). The mapper may keep internal state
+/// (e.g. the energy filter's remaining-budget ledger), hence `&mut self`.
+pub trait Mapper {
+    /// Chooses an assignment for `task` given the system state, or `None`
+    /// to discard it.
+    fn assign(&mut self, task: &Task, view: &SystemView<'_>) -> Option<Assignment>;
+
+    /// Hook invoked once before a trial starts, letting stateful mappers
+    /// reset ledgers. Default: no-op.
+    fn on_trial_start(&mut self) {}
+}
+
+/// A read-only snapshot of the system handed to the mapper at a mapping
+/// time-step `t_l`.
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    cluster: &'a Cluster,
+    table: &'a ExecTable,
+    cores: &'a [CoreState],
+    time: Time,
+    arrived: usize,
+    window: usize,
+}
+
+impl<'a> SystemView<'a> {
+    /// Builds a view (engine-internal, but public so alternative engines
+    /// and tests can construct one).
+    pub fn new(
+        cluster: &'a Cluster,
+        table: &'a ExecTable,
+        cores: &'a [CoreState],
+        time: Time,
+        arrived: usize,
+        window: usize,
+    ) -> Self {
+        assert_eq!(
+            cores.len(),
+            cluster.total_cores(),
+            "core state array must match cluster size"
+        );
+        assert!(arrived <= window, "arrived tasks cannot exceed the window");
+        Self {
+            cluster,
+            table,
+            cores,
+            time,
+            arrived,
+            window,
+        }
+    }
+
+    /// The cluster model.
+    #[inline]
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// The execution-time pmf table.
+    #[inline]
+    pub fn table(&self) -> &'a ExecTable {
+        self.table
+    }
+
+    /// Current time `t_l` (the arriving task's arrival time).
+    #[inline]
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Run state of the core with flat index `core`.
+    #[inline]
+    pub fn core_state(&self, core: usize) -> &CoreState {
+        &self.cores[core]
+    }
+
+    /// All core states, flat-indexed.
+    #[inline]
+    pub fn core_states(&self) -> &'a [CoreState] {
+        self.cores
+    }
+
+    /// Tasks that have arrived so far, *including* the one being mapped.
+    #[inline]
+    pub fn arrived(&self) -> usize {
+        self.arrived
+    }
+
+    /// The trial window size.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// `T_left(t_l)` for the energy filter: tasks not yet arrived plus the
+    /// one being mapped, clamped to at least 1 (DESIGN.md §3.5).
+    #[inline]
+    pub fn tasks_left(&self) -> usize {
+        (self.window - self.arrived + 1).max(1)
+    }
+
+    /// Instantaneous average queue depth over all cores — the quantity the
+    /// energy filter's ζ_mul adapts on (Sec. V-F).
+    pub fn avg_queue_depth(&self) -> f64 {
+        let total: usize = self.cores.iter().map(CoreState::depth).sum();
+        total as f64 / self.cores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::QueuedTask;
+    use ecds_cluster::{generate_cluster, ClusterGenConfig};
+    use ecds_pmf::SeedDerive;
+    use ecds_workload::{TaskId, TaskTypeId, WorkloadConfig};
+
+    fn fixtures() -> (Cluster, ExecTable) {
+        let seeds = SeedDerive::new(3);
+        let cluster = generate_cluster(&ClusterGenConfig::small_for_tests(), &seeds);
+        let table = ExecTable::generate(&WorkloadConfig::small_for_tests(), &cluster, &seeds);
+        (cluster, table)
+    }
+
+    #[test]
+    fn avg_queue_depth_counts_all_cores() {
+        let (cluster, table) = fixtures();
+        let mut cores = vec![CoreState::new(); cluster.total_cores()];
+        cores[0].enqueue(QueuedTask {
+            task: TaskId(0),
+            type_id: TaskTypeId(0),
+            pstate: PState::P0,
+            deadline: 50.0,
+        });
+        cores[0].enqueue(QueuedTask {
+            task: TaskId(1),
+            type_id: TaskTypeId(0),
+            pstate: PState::P0,
+            deadline: 50.0,
+        });
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10);
+        let expected = 2.0 / cluster.total_cores() as f64;
+        assert!((view.avg_queue_depth() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tasks_left_includes_current() {
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores()];
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10);
+        assert_eq!(view.tasks_left(), 10);
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 10, 10);
+        assert_eq!(view.tasks_left(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "match cluster size")]
+    fn mismatched_core_array_rejected() {
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores() + 1];
+        let _ = SystemView::new(&cluster, &table, &cores, 0.0, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn arrived_beyond_window_rejected() {
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores()];
+        let _ = SystemView::new(&cluster, &table, &cores, 0.0, 11, 10);
+    }
+
+    #[test]
+    fn tasks_left_clamps_at_one() {
+        // Even in the degenerate arrived == window case, the fair-share
+        // divisor must stay at least 1 (DESIGN.md §3.5).
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores()];
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 5, 5);
+        assert_eq!(view.tasks_left(), 1);
+    }
+
+    #[test]
+    fn empty_system_has_zero_depth() {
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores()];
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10);
+        assert_eq!(view.avg_queue_depth(), 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_fields() {
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores()];
+        let view = SystemView::new(&cluster, &table, &cores, 7.5, 3, 10);
+        assert_eq!(view.time(), 7.5);
+        assert_eq!(view.arrived(), 3);
+        assert_eq!(view.window(), 10);
+        assert_eq!(view.core_states().len(), cluster.total_cores());
+        assert!(view.core_state(0).is_idle());
+    }
+}

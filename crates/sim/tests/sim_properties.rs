@@ -1,0 +1,145 @@
+//! Property tests of simulator invariants under arbitrary (but valid)
+//! mapping decisions — the engine must hold its guarantees for *any*
+//! mapper, not just the paper's heuristics.
+
+use std::sync::OnceLock;
+
+use ecds_cluster::PState;
+use ecds_sim::{Assignment, Mapper, Scenario, Simulation, SystemView, TrialResult};
+use ecds_workload::Task;
+use proptest::prelude::*;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::small_for_tests(99))
+}
+
+/// A mapper driven by a pre-drawn decision script: for task `i`,
+/// `script[i % len]` selects (core index modulo core count, P-state,
+/// discard flag).
+struct ScriptedMapper {
+    script: Vec<(usize, usize, bool)>,
+    next: usize,
+}
+
+impl Mapper for ScriptedMapper {
+    fn assign(&mut self, _task: &Task, view: &SystemView<'_>) -> Option<Assignment> {
+        let (core_raw, pstate_raw, discard) = self.script[self.next % self.script.len()];
+        self.next += 1;
+        if discard {
+            return None;
+        }
+        Some(Assignment {
+            core: core_raw % view.cluster().total_cores(),
+            pstate: PState::from_index(pstate_raw % 5),
+        })
+    }
+
+    fn on_trial_start(&mut self) {
+        self.next = 0;
+    }
+}
+
+fn run_scripted(script: Vec<(usize, usize, bool)>) -> TrialResult {
+    let s = scenario();
+    let trace = s.trace(0);
+    let mut mapper = ScriptedMapper { script, next: 0 };
+    Simulation::new(s, &trace).run(&mut mapper)
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec((0usize..64, 0usize..5, prop::bool::weighted(0.2)), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_holds_for_any_mapper(script in arb_script()) {
+        let r = run_scripted(script);
+        prop_assert_eq!(r.missed() + r.completed(), r.window());
+        prop_assert!(r.discarded() <= r.window());
+    }
+
+    #[test]
+    fn outcomes_are_causally_ordered(script in arb_script()) {
+        let r = run_scripted(script);
+        for o in r.outcomes() {
+            if let (Some(start), Some(completion)) = (o.start, o.completion) {
+                prop_assert!(start >= o.arrival);
+                prop_assert!(completion > start);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_bounded_by_power_envelope(script in arb_script()) {
+        let s = scenario();
+        let r = run_scripted(script);
+        // Total energy lies between (all cores at min wall power for the
+        // makespan) and (all cores at max wall power for the makespan).
+        let min_power: f64 = s.cluster().cores().iter().map(|c| {
+            let n = s.cluster().node_of(*c);
+            n.power.watts(PState::P4) / n.efficiency
+        }).sum();
+        let max_power: f64 = s.cluster().cores().iter().map(|c| {
+            let n = s.cluster().node_of(*c);
+            n.power.watts(PState::P0) / n.efficiency
+        }).sum();
+        let span = r.makespan();
+        prop_assert!(r.total_energy() >= min_power * span - 1e-6,
+            "energy {} below floor {}", r.total_energy(), min_power * span);
+        prop_assert!(r.total_energy() <= max_power * span + 1e-6,
+            "energy {} above ceiling {}", r.total_energy(), max_power * span);
+    }
+
+    #[test]
+    fn fifo_is_preserved_per_core(script in arb_script()) {
+        let r = run_scripted(script);
+        let mut per_core: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for o in r.outcomes() {
+            if let (Some((core, _)), Some(start)) = (o.assignment, o.start) {
+                let last = per_core.entry(core).or_insert(f64::NEG_INFINITY);
+                prop_assert!(start >= *last, "core {core} regressed");
+                *last = start;
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_samples_once_per_arrival(script in arb_script()) {
+        let r = run_scripted(script);
+        prop_assert_eq!(r.telemetry().queue_depth.len(), r.window());
+        for w in r.telemetry().queue_depth.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "telemetry out of order");
+        }
+    }
+
+    #[test]
+    fn reruns_are_bit_identical(script in arb_script()) {
+        let a = run_scripted(script.clone());
+        let b = run_scripted(script);
+        prop_assert_eq!(a.outcomes(), b.outcomes());
+        prop_assert_eq!(a.total_energy(), b.total_energy());
+    }
+
+    #[test]
+    fn budget_monotonicity_under_any_mapper(
+        script in arb_script(),
+        factors in prop::collection::vec(0.05f64..2.0, 2..4),
+    ) {
+        let s = scenario();
+        let trace = s.trace(0);
+        let mut sorted = factors.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last_completed = 0usize;
+        for factor in sorted {
+            let starved = s.with_budget_factor(factor);
+            let mut mapper = ScriptedMapper { script: script.clone(), next: 0 };
+            let r = Simulation::new(&starved, &trace).run(&mut mapper);
+            prop_assert!(r.completed() >= last_completed,
+                "larger budget completed fewer tasks");
+            last_completed = r.completed();
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal CSV emission (no external dependency; fields are escaped per
+//! RFC 4180 when they contain separators, quotes, or newlines).
+
+/// Builds CSV text row by row.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    buf: String,
+    columns: Option<usize>,
+}
+
+impl CsvWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one row. The first row fixes the column count.
+    pub fn write_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert!(!cells.is_empty(), "row must have at least one cell");
+        match self.columns {
+            None => self.columns = Some(cells.len()),
+            Some(n) => assert_eq!(n, cells.len(), "inconsistent column count"),
+        }
+        let row: Vec<String> = cells.iter().map(|c| escape(c.as_ref())).collect();
+        self.buf.push_str(&row.join(","));
+        self.buf.push('\n');
+    }
+
+    /// The CSV text so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the CSV text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_plain_rows() {
+        let mut w = CsvWriter::new();
+        w.write_row(&["heuristic", "filter", "median"]);
+        w.write_row(&["LL", "en+rob", "226"]);
+        assert_eq!(w.as_str(), "heuristic,filter,median\nLL,en+rob,226\n");
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut w = CsvWriter::new();
+        w.write_row(&["a,b", "say \"hi\"", "line\nbreak"]);
+        assert_eq!(w.as_str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent column count")]
+    fn mismatched_columns_rejected() {
+        let mut w = CsvWriter::new();
+        w.write_row(&["a", "b"]);
+        w.write_row(&["only-one"]);
+    }
+
+    #[test]
+    fn into_string_round_trips() {
+        let mut w = CsvWriter::new();
+        w.write_row(&["x"]);
+        assert_eq!(w.into_string(), "x\n");
+    }
+}

@@ -1,0 +1,91 @@
+//! Unicode sparklines for time-series telemetry.
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a one-line sparkline, scaling min→max onto the
+/// eight block heights. An all-equal series renders as the lowest block.
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return "?".repeat(values.len());
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '?'
+            } else if span <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = (((v - min) / span) * (BLOCKS.len() - 1) as f64).round() as usize;
+                BLOCKS[idx.min(BLOCKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// A labeled sparkline row: `label  ▁▂▇█▃  [min .. max]`.
+pub fn sparkline_row(label: &str, values: &[f64], label_width: usize) -> String {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if values.is_empty() {
+        return format!("{label:<label_width$} (empty)");
+    }
+    format!(
+        "{label:<label_width$} {} [{min:.2} .. {max:.2}]",
+        sparkline(values)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_uses_full_block_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(s.chars().count(), 8);
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        let s = sparkline(&[5.0; 4]);
+        assert_eq!(s, "▁▁▁▁");
+    }
+
+    #[test]
+    fn empty_series_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn non_finite_values_marked() {
+        let s = sparkline(&[1.0, f64::NAN, 2.0]);
+        assert!(s.contains('?'));
+    }
+
+    #[test]
+    fn row_includes_label_and_range() {
+        let row = sparkline_row("queue", &[0.0, 2.0, 1.0], 8);
+        assert!(row.starts_with("queue"));
+        assert!(row.contains("[0.00 .. 2.00]"));
+    }
+
+    #[test]
+    fn monotone_input_is_monotone_output() {
+        let s: Vec<char> = sparkline(&[1.0, 2.0, 3.0, 4.0]).chars().collect();
+        let heights: Vec<usize> = s
+            .iter()
+            .map(|c| BLOCKS.iter().position(|b| b == c).unwrap())
+            .collect();
+        assert!(heights.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,178 @@
+//! Five-number summaries with Tukey whiskers.
+
+/// A box-and-whiskers summary of a sample.
+///
+/// Quartiles use linear interpolation between order statistics (R's
+/// default, "type 7"); whiskers extend to the most extreme data points
+/// within 1.5 × IQR of the quartiles (Tukey's rule, the convention used by
+/// the paper's plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Sample size.
+    pub n: usize,
+    /// Sample minimum.
+    pub min: f64,
+    /// Lower whisker (smallest point ≥ `q1 − 1.5·IQR`).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (largest point ≤ `q3 + 1.5·IQR`).
+    pub whisker_hi: f64,
+    /// Sample maximum.
+    pub max: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Count of points below the lower whisker.
+    pub outliers_lo: usize,
+    /// Count of points above the upper whisker.
+    pub outliers_hi: usize,
+}
+
+impl BoxStats {
+    /// Summarizes `samples`. Returns `None` for an empty slice or any
+    /// non-finite sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let q1 = quantile_type7(&sorted, 0.25);
+        let median = quantile_type7(&sorted, 0.5);
+        let q3 = quantile_type7(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[n - 1]);
+        let outliers_lo = sorted.iter().filter(|&&x| x < lo_fence).count();
+        let outliers_hi = sorted.iter().filter(|&&x| x > hi_fence).count();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        Some(Self {
+            n,
+            min: sorted[0],
+            whisker_lo,
+            q1,
+            median,
+            q3,
+            whisker_hi,
+            max: sorted[n - 1],
+            mean,
+            outliers_lo,
+            outliers_hi,
+        })
+    }
+
+    /// The interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation quantile (R type 7) of a sorted slice.
+fn quantile_type7(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_five_point_summary() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.outliers_lo + s.outliers_hi, 0);
+        assert_eq!(s.whisker_lo, 1.0);
+        assert_eq!(s.whisker_hi, 5.0);
+    }
+
+    #[test]
+    fn even_count_interpolates_median() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn paper_style_median_of_50() {
+        // Medians like 375.5 arise from 50 samples; check interpolation.
+        let samples: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let s = BoxStats::from_samples(&samples).unwrap();
+        assert_eq!(s.median, 25.5);
+    }
+
+    #[test]
+    fn outliers_are_detected_and_whiskers_clamped() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        assert_eq!(s.outliers_hi, 1);
+        assert_eq!(s.whisker_hi, 4.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn low_outliers_detected() {
+        let s = BoxStats::from_samples(&[-100.0, 10.0, 11.0, 12.0, 13.0]).unwrap();
+        assert_eq!(s.outliers_lo, 1);
+        assert_eq!(s.whisker_lo, 10.0);
+    }
+
+    #[test]
+    fn single_sample_degenerates() {
+        let s = BoxStats::from_samples(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_iqr() {
+        let s = BoxStats::from_samples(&[5.0; 20]).unwrap();
+        assert_eq!(s.iqr(), 0.0);
+        assert_eq!(s.outliers_lo + s.outliers_hi, 0);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(BoxStats::from_samples(&[]).is_none());
+        assert!(BoxStats::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(BoxStats::from_samples(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = BoxStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+}

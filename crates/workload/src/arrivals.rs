@@ -1,0 +1,239 @@
+//! Bursty Poisson arrival process (paper Sec. VI, after [LiB98]).
+//!
+//! Arrivals follow a Poisson process whose rate switches by task count: the
+//! first 200 tasks arrive at `λ_fast = 1/8` (oversubscribing the cluster),
+//! the next 600 at `λ_slow = 1/48` (undersubscribed lull), the last 200 at
+//! `λ_fast` again. Rates are constant across trials; arrival *times* vary
+//! by trial seed. The paper also defines an equilibrium rate
+//! `λ_eq = 1/28` at which the system would be perfectly subscribed.
+
+use ecds_pmf::{Exponential, Time};
+use rand::Rng;
+
+/// One phase of the arrival pattern: `count` tasks arriving at Poisson rate
+/// `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalPhase {
+    /// Number of tasks arriving during this phase.
+    pub count: usize,
+    /// Poisson rate (tasks per time unit).
+    pub rate: f64,
+}
+
+impl ArrivalPhase {
+    /// Creates a phase; `count >= 1` and `rate > 0`.
+    pub fn new(count: usize, rate: f64) -> Self {
+        assert!(count >= 1, "phase must contain at least one task");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { count, rate }
+    }
+}
+
+/// A piecewise-constant-rate Poisson arrival pattern.
+///
+/// ```
+/// use ecds_workload::BurstPattern;
+/// use ecds_pmf::{SeedDerive, Stream};
+///
+/// let pattern = BurstPattern::paper(); // 200 fast / 600 slow / 200 fast
+/// assert_eq!(pattern.total_tasks(), 1000);
+/// let mut rng = SeedDerive::new(7).rng(Stream::Arrivals, 0, 0);
+/// let times = pattern.generate(&mut rng);
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstPattern {
+    phases: Vec<ArrivalPhase>,
+}
+
+/// The paper's fast (burst) arrival rate, `λ_fast = 1/8`.
+pub const LAMBDA_FAST: f64 = 1.0 / 8.0;
+/// The paper's slow (lull) arrival rate, `λ_slow = 1/48`.
+pub const LAMBDA_SLOW: f64 = 1.0 / 48.0;
+/// The paper's equilibrium rate, `λ_eq = 1/28` (defined for context; the
+/// generated pattern uses only fast and slow).
+pub const LAMBDA_EQ: f64 = 1.0 / 28.0;
+
+impl BurstPattern {
+    /// Builds a pattern from phases (at least one).
+    pub fn new(phases: Vec<ArrivalPhase>) -> Self {
+        assert!(!phases.is_empty(), "pattern needs at least one phase");
+        Self { phases }
+    }
+
+    /// The paper's pattern: 200 fast, 600 slow, 200 fast.
+    pub fn paper() -> Self {
+        Self::new(vec![
+            ArrivalPhase::new(200, LAMBDA_FAST),
+            ArrivalPhase::new(600, LAMBDA_SLOW),
+            ArrivalPhase::new(200, LAMBDA_FAST),
+        ])
+    }
+
+    /// The paper's pattern scaled to `window` tasks, preserving the
+    /// 20%/60%/20% split (each phase gets at least one task).
+    pub fn scaled(window: usize) -> Self {
+        Self::scaled_with_rates(window, LAMBDA_FAST, LAMBDA_SLOW)
+    }
+
+    /// The paper's 20%/60%/20% split over `window` tasks with custom burst
+    /// and lull rates — used to keep scaled-down scenarios at the paper's
+    /// *subscription level* (the paper's absolute rates assume its 48-core
+    /// cluster; a small test cluster needs proportionally slower arrivals).
+    pub fn scaled_with_rates(window: usize, fast: f64, slow: f64) -> Self {
+        assert!(window >= 3, "scaled pattern needs at least 3 tasks");
+        let burst = (window / 5).max(1);
+        let lull = window - 2 * burst;
+        Self::new(vec![
+            ArrivalPhase::new(burst, fast),
+            ArrivalPhase::new(lull, slow),
+            ArrivalPhase::new(burst, fast),
+        ])
+    }
+
+    /// A single-phase constant-rate pattern.
+    pub fn constant(count: usize, rate: f64) -> Self {
+        Self::new(vec![ArrivalPhase::new(count, rate)])
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[ArrivalPhase] {
+        &self.phases
+    }
+
+    /// Total number of tasks across all phases.
+    pub fn total_tasks(&self) -> usize {
+        self.phases.iter().map(|p| p.count).sum()
+    }
+
+    /// Expected makespan of the arrival process (sum of phase means).
+    pub fn expected_span(&self) -> Time {
+        self.phases
+            .iter()
+            .map(|p| p.count as f64 / p.rate)
+            .sum()
+    }
+
+    /// Generates the arrival-time sequence: exponential inter-arrival gaps
+    /// at each phase's rate, starting from time 0 (the first task arrives
+    /// after one gap). Monotonically non-decreasing by construction.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Time> {
+        let mut times = Vec::with_capacity(self.total_tasks());
+        let mut now = 0.0;
+        for phase in &self.phases {
+            let exp = Exponential::new(phase.rate);
+            for _ in 0..phase.count {
+                now += exp.sample(rng);
+                times.push(now);
+            }
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn paper_pattern_totals_1000() {
+        assert_eq!(BurstPattern::paper().total_tasks(), 1000);
+    }
+
+    #[test]
+    fn paper_rates_match_section_vi() {
+        let p = BurstPattern::paper();
+        assert_eq!(p.phases()[0].rate, 0.125);
+        assert!((p.phases()[1].rate - 0.0208333).abs() < 1e-6);
+        assert_eq!(p.phases()[0].count, 200);
+        assert_eq!(p.phases()[1].count, 600);
+        assert_eq!(p.phases()[2].count, 200);
+    }
+
+    #[test]
+    fn generated_times_are_sorted_and_positive() {
+        let times = BurstPattern::paper().generate(&mut rng());
+        assert_eq!(times.len(), 1000);
+        assert!(times[0] > 0.0);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn phase_means_are_respected() {
+        // Average over many runs: the first burst of 200 tasks at rate 1/8
+        // should span about 1600 time units.
+        let p = BurstPattern::paper();
+        let mut r = rng();
+        let mut total = 0.0;
+        const RUNS: usize = 200;
+        for _ in 0..RUNS {
+            let times = p.generate(&mut r);
+            total += times[199];
+        }
+        let mean = total / RUNS as f64;
+        assert!((mean - 1600.0).abs() < 60.0, "burst span {mean}");
+    }
+
+    #[test]
+    fn expected_span_matches_paper_scale() {
+        // 200/0.125 + 600/(1/48) + 200/0.125 = 1600 + 28800 + 1600 = 32000.
+        let span = BurstPattern::paper().expected_span();
+        assert!((span - 32000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lull_is_slower_than_bursts() {
+        let times = BurstPattern::paper().generate(&mut rng());
+        let burst1_span = times[199] - times[0];
+        let lull_span = times[799] - times[200];
+        // 600 slow tasks take far longer than 200 fast ones.
+        assert!(lull_span > 3.0 * burst1_span);
+    }
+
+    #[test]
+    fn scaled_pattern_preserves_split() {
+        let p = BurstPattern::scaled(100);
+        assert_eq!(p.total_tasks(), 100);
+        assert_eq!(p.phases()[0].count, 20);
+        assert_eq!(p.phases()[1].count, 60);
+        assert_eq!(p.phases()[2].count, 20);
+    }
+
+    #[test]
+    fn constant_pattern_single_phase() {
+        let p = BurstPattern::constant(50, LAMBDA_EQ);
+        assert_eq!(p.phases().len(), 1);
+        assert_eq!(p.total_tasks(), 50);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = BurstPattern::paper().generate(&mut rng());
+        let b = BurstPattern::paper().generate(&mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_phase_rejected() {
+        let _ = ArrivalPhase::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalPhase::new(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_pattern_rejected() {
+        let _ = BurstPattern::new(vec![]);
+    }
+}

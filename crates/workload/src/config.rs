@@ -1,0 +1,134 @@
+//! Workload generation configuration.
+
+use ecds_pmf::SamplePmfConfig;
+
+use crate::arrivals::BurstPattern;
+
+/// All knobs of workload generation; [`WorkloadConfig::paper`] reproduces
+/// Sec. VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of task types (paper: 100).
+    pub num_types: usize,
+    /// Tasks per trial window (paper: 1,000 — a finite window is required
+    /// for an energy constraint to be meaningful).
+    pub window: usize,
+    /// CVB mean task execution time `μ_task` (paper: 750).
+    pub mu_task: f64,
+    /// CVB task-heterogeneity coefficient of variation `V_task`
+    /// (paper: 0.25).
+    pub v_task: f64,
+    /// CVB machine-heterogeneity coefficient of variation `V_mach`
+    /// (paper: 0.25).
+    pub v_mach: f64,
+    /// Coefficient of variation of the per-(type, node) execution-time pmf
+    /// around its CVB mean (see DESIGN.md §3.6).
+    pub pmf_cv: f64,
+    /// Sampling/binning parameters for empirical pmf construction.
+    pub pmf_sampling: SamplePmfConfig,
+    /// The arrival process.
+    pub arrivals: BurstPattern,
+}
+
+impl WorkloadConfig {
+    /// The paper's Sec. VI workload: 1,000 tasks of 100 types,
+    /// CVB(750, 0.25, 0.25), bursty arrivals 200 fast / 600 slow / 200 fast
+    /// with `λ_fast = 1/8`, `λ_slow = 1/48`.
+    pub fn paper() -> Self {
+        Self {
+            num_types: 100,
+            window: 1000,
+            mu_task: 750.0,
+            v_task: 0.25,
+            v_mach: 0.25,
+            pmf_cv: 0.2,
+            pmf_sampling: SamplePmfConfig::default(),
+            arrivals: BurstPattern::paper(),
+        }
+    }
+
+    /// A scaled-down workload for fast tests: 60 tasks of 10 types with a
+    /// proportionally shrunken burst pattern. Arrival rates are ~1/7 of
+    /// the paper's so the ~7-core test cluster sees the same subscription
+    /// level as the paper's 48-core cluster.
+    pub fn small_for_tests() -> Self {
+        Self {
+            num_types: 10,
+            window: 60,
+            mu_task: 750.0,
+            v_task: 0.25,
+            v_mach: 0.25,
+            pmf_cv: 0.2,
+            pmf_sampling: SamplePmfConfig::new(100, 12),
+            arrivals: BurstPattern::scaled_with_rates(60, 1.0 / 56.0, 1.0 / 336.0),
+        }
+    }
+
+    /// Validates internal consistency (panics on misconfiguration).
+    pub fn validate(&self) {
+        assert!(self.num_types >= 1, "need at least one task type");
+        assert!(self.window >= 1, "window must hold at least one task");
+        assert!(
+            self.mu_task.is_finite() && self.mu_task > 0.0,
+            "mu_task must be positive"
+        );
+        assert!(
+            self.v_task.is_finite() && self.v_task > 0.0,
+            "v_task must be positive"
+        );
+        assert!(
+            self.v_mach.is_finite() && self.v_mach > 0.0,
+            "v_mach must be positive"
+        );
+        assert!(
+            self.pmf_cv.is_finite() && self.pmf_cv > 0.0,
+            "pmf_cv must be positive"
+        );
+        assert_eq!(
+            self.arrivals.total_tasks(),
+            self.window,
+            "arrival pattern must cover exactly the window"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        WorkloadConfig::paper().validate();
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        WorkloadConfig::small_for_tests().validate();
+    }
+
+    #[test]
+    fn paper_parameters_match_section_vi() {
+        let c = WorkloadConfig::paper();
+        assert_eq!(c.num_types, 100);
+        assert_eq!(c.window, 1000);
+        assert_eq!(c.mu_task, 750.0);
+        assert_eq!(c.v_task, 0.25);
+        assert_eq!(c.v_mach, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover exactly the window")]
+    fn mismatched_pattern_rejected() {
+        let mut c = WorkloadConfig::paper();
+        c.window = 999;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task type")]
+    fn zero_types_rejected() {
+        let mut c = WorkloadConfig::paper();
+        c.num_types = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,189 @@
+//! CVB (coefficient-of-variation based) mean-execution-time matrix
+//! generation, after [AlS00].
+//!
+//! The CVB method characterizes heterogeneity with three parameters: the
+//! overall mean task execution time `μ_task`, the task-heterogeneity CV
+//! `V_task`, and the machine-heterogeneity CV `V_mach`. For each task type
+//! `t` a type mean is drawn from `Gamma(mean = μ_task, cv = V_task)`; then
+//! for each node `i` the entry `ETC[t][i]` is drawn from
+//! `Gamma(mean = type mean, cv = V_mach)`. Entries are *inconsistent*: node
+//! orderings differ per task type.
+
+use ecds_pmf::{Gamma, SeedDerive, Stream, Time};
+
+use crate::task::TaskTypeId;
+
+/// The matrix of mean execution times at the base P-state: `ETC[t][i]` is
+/// the expected execution time of task type `t` on one core of node `i`
+/// running in `P0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EtcMatrix {
+    num_types: usize,
+    num_nodes: usize,
+    /// Row-major `[type][node]`.
+    means: Vec<Time>,
+}
+
+impl EtcMatrix {
+    /// Generates the matrix with the CVB method, deterministically from the
+    /// [`Stream::EtcMatrix`] stream.
+    pub fn generate_cvb(
+        num_types: usize,
+        num_nodes: usize,
+        mu_task: f64,
+        v_task: f64,
+        v_mach: f64,
+        seeds: &SeedDerive,
+    ) -> Self {
+        assert!(num_types >= 1 && num_nodes >= 1, "matrix must be non-empty");
+        let type_gamma = Gamma::from_mean_cv(mu_task, v_task);
+        let mut means = Vec::with_capacity(num_types * num_nodes);
+        for t in 0..num_types {
+            let mut rng = seeds.rng(Stream::EtcMatrix, t as u64, 0);
+            let type_mean = type_gamma.sample(&mut rng);
+            let node_gamma = Gamma::from_mean_cv(type_mean, v_mach);
+            for _ in 0..num_nodes {
+                means.push(node_gamma.sample(&mut rng));
+            }
+        }
+        Self {
+            num_types,
+            num_nodes,
+            means,
+        }
+    }
+
+    /// Builds a matrix directly from row-major means (for tests and custom
+    /// scenarios).
+    pub fn from_means(num_types: usize, num_nodes: usize, means: Vec<Time>) -> Self {
+        assert_eq!(
+            means.len(),
+            num_types * num_nodes,
+            "means length must be num_types × num_nodes"
+        );
+        assert!(
+            means.iter().all(|m| m.is_finite() && *m > 0.0),
+            "means must be finite and positive"
+        );
+        Self {
+            num_types,
+            num_nodes,
+            means,
+        }
+    }
+
+    /// Number of task types.
+    #[inline]
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Mean execution time of `task_type` on `node` at the base P-state.
+    #[inline]
+    pub fn mean(&self, task_type: TaskTypeId, node: usize) -> Time {
+        debug_assert!(task_type.0 < self.num_types && node < self.num_nodes);
+        self.means[task_type.0 * self.num_nodes + node]
+    }
+
+    /// Grand mean over the whole matrix.
+    pub fn grand_mean(&self) -> Time {
+        self.means.iter().sum::<f64>() / self.means.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(seed: u64) -> EtcMatrix {
+        EtcMatrix::generate_cvb(100, 8, 750.0, 0.25, 0.25, &SeedDerive::new(seed))
+    }
+
+    #[test]
+    fn dimensions_match() {
+        let m = gen(1);
+        assert_eq!(m.num_types(), 100);
+        assert_eq!(m.num_nodes(), 8);
+    }
+
+    #[test]
+    fn entries_are_positive() {
+        let m = gen(1);
+        for t in 0..100 {
+            for n in 0..8 {
+                assert!(m.mean(TaskTypeId(t), n) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn grand_mean_near_mu_task() {
+        // Mean of the two-level gamma hierarchy is μ_task; with 800 entries
+        // and CVs of 0.25 the grand mean should fall within a few percent.
+        let m = gen(2);
+        let gm = m.grand_mean();
+        assert!((gm - 750.0).abs() < 60.0, "grand mean {gm}");
+    }
+
+    #[test]
+    fn task_heterogeneity_present() {
+        // Type means should differ noticeably (V_task = 0.25).
+        let m = gen(3);
+        let t0: f64 = (0..8).map(|n| m.mean(TaskTypeId(0), n)).sum::<f64>() / 8.0;
+        let t1: f64 = (0..8).map(|n| m.mean(TaskTypeId(1), n)).sum::<f64>() / 8.0;
+        assert!((t0 - t1).abs() > 1.0);
+    }
+
+    #[test]
+    fn machine_heterogeneity_is_inconsistent() {
+        // [AlS00] inconsistency: the fastest node for one type need not be
+        // fastest for another. With 100 types this is a near-certainty.
+        let m = gen(4);
+        let argmin = |t: usize| {
+            (0..8)
+                .min_by(|&a, &b| {
+                    m.mean(TaskTypeId(t), a)
+                        .partial_cmp(&m.mean(TaskTypeId(t), b))
+                        .unwrap()
+                })
+                .unwrap()
+        };
+        let first = argmin(0);
+        assert!(
+            (1..100).any(|t| argmin(t) != first),
+            "ETC matrix is consistent — CVB should be inconsistent"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    #[test]
+    fn from_means_round_trips() {
+        let m = EtcMatrix::from_means(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.mean(TaskTypeId(0), 1), 2.0);
+        assert_eq!(m.mean(TaskTypeId(1), 0), 3.0);
+        assert_eq!(m.grand_mean(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn from_means_wrong_length_rejected() {
+        let _ = EtcMatrix::from_means(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn from_means_rejects_nonpositive() {
+        let _ = EtcMatrix::from_means(1, 2, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,295 @@
+//! The execution-time pmf table: one pmf per (task type, node, P-state).
+//!
+//! The paper assumes "we are provided an execution-time probability mass
+//! function for each task type executing on a single core of each node in
+//! each P-state" (Sec. III-B). We synthesize the table from the CVB mean
+//! matrix: the base-state pmf of (type, node) is an empirical gamma pmf
+//! around `ETC[t][i]`, and each deeper P-state scales its support by the
+//! node's execution-time multiplier (DVFS slows the clock; the paper's
+//! clock-speed profile "scale[s] the execution time distributions").
+
+use ecds_cluster::{Cluster, PState, NUM_PSTATES};
+use ecds_pmf::{empirical_pmf, Gamma, Pmf, Prob, SeedDerive, Stream, Time};
+
+use crate::config::WorkloadConfig;
+use crate::etc::EtcMatrix;
+use crate::task::TaskTypeId;
+
+/// Immutable per-scenario table of execution-time pmfs and cached
+/// expectations.
+#[derive(Debug, Clone)]
+pub struct ExecTable {
+    num_types: usize,
+    num_nodes: usize,
+    /// `[type * num_nodes + node]` → per-P-state pmfs.
+    pmfs: Vec<[Pmf; NUM_PSTATES]>,
+    /// Cached expectations, same layout.
+    eets: Vec<[Time; NUM_PSTATES]>,
+    /// Cached per-type average execution time over all nodes and P-states
+    /// (the deadline formula's per-type term).
+    type_avgs: Vec<Time>,
+    /// `t_avg`: grand average over types, nodes, and P-states (the deadline
+    /// load factor and the energy-budget time scale).
+    t_avg: Time,
+}
+
+impl ExecTable {
+    /// Generates the full table for `cluster` from `cfg`, deterministically
+    /// from the [`Stream::ExecPmf`] and [`Stream::EtcMatrix`] streams.
+    pub fn generate(cfg: &WorkloadConfig, cluster: &Cluster, seeds: &SeedDerive) -> Self {
+        cfg.validate();
+        let etc = EtcMatrix::generate_cvb(
+            cfg.num_types,
+            cluster.num_nodes(),
+            cfg.mu_task,
+            cfg.v_task,
+            cfg.v_mach,
+            seeds,
+        );
+        Self::from_etc(cfg, cluster, &etc, seeds)
+    }
+
+    /// Builds the table from an explicit mean matrix (tests, custom
+    /// scenarios).
+    pub fn from_etc(
+        cfg: &WorkloadConfig,
+        cluster: &Cluster,
+        etc: &EtcMatrix,
+        seeds: &SeedDerive,
+    ) -> Self {
+        assert_eq!(
+            etc.num_nodes(),
+            cluster.num_nodes(),
+            "ETC matrix and cluster disagree on node count"
+        );
+        let num_types = etc.num_types();
+        let num_nodes = etc.num_nodes();
+        let mut pmfs = Vec::with_capacity(num_types * num_nodes);
+        let mut eets = Vec::with_capacity(num_types * num_nodes);
+        for t in 0..num_types {
+            for n in 0..num_nodes {
+                let mean = etc.mean(TaskTypeId(t), n);
+                let gamma = Gamma::from_mean_cv(mean, cfg.pmf_cv);
+                let mut rng = seeds.rng(Stream::ExecPmf, t as u64, n as u64);
+                let base = empirical_pmf(&mut rng, cfg.pmf_sampling, |r| gamma.sample(r));
+                let node = cluster.node(n);
+                let per_state: [Pmf; NUM_PSTATES] = std::array::from_fn(|s| {
+                    let state = PState::from_index(s);
+                    let mult = node.exec_time_multiplier(state);
+                    if state.is_base() {
+                        base.clone()
+                    } else {
+                        base.scale_values(mult)
+                    }
+                });
+                let per_eet: [Time; NUM_PSTATES] =
+                    std::array::from_fn(|s| per_state[s].expectation());
+                pmfs.push(per_state);
+                eets.push(per_eet);
+            }
+        }
+        let type_avgs: Vec<Time> = (0..num_types)
+            .map(|t| {
+                let sum: f64 = (0..num_nodes)
+                    .map(|n| eets[t * num_nodes + n].iter().sum::<f64>())
+                    .sum();
+                sum / (num_nodes * NUM_PSTATES) as f64
+            })
+            .collect();
+        let t_avg = type_avgs.iter().sum::<f64>() / num_types as f64;
+        Self {
+            num_types,
+            num_nodes,
+            pmfs,
+            eets,
+            type_avgs,
+            t_avg,
+        }
+    }
+
+    /// Number of task types.
+    #[inline]
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Execution-time pmf of `task_type` on one core of `node` in `state`.
+    #[inline]
+    pub fn pmf(&self, task_type: TaskTypeId, node: usize, state: PState) -> &Pmf {
+        &self.pmfs[task_type.0 * self.num_nodes + node][state.index()]
+    }
+
+    /// Expected execution time — the heuristics' `EET(i, j, k, π, z)`
+    /// (cores within a node are identical, so only the node matters).
+    #[inline]
+    pub fn eet(&self, task_type: TaskTypeId, node: usize, state: PState) -> Time {
+        self.eets[task_type.0 * self.num_nodes + node][state.index()]
+    }
+
+    /// Per-type average execution time over all nodes and P-states (the
+    /// type-specific term of the deadline formula, Sec. VI).
+    #[inline]
+    pub fn type_average(&self, task_type: TaskTypeId) -> Time {
+        self.type_avgs[task_type.0]
+    }
+
+    /// `t_avg`: the average execution time of all task types across all
+    /// machines and P-states (≈ 1353 in the paper's configuration).
+    #[inline]
+    pub fn t_avg(&self) -> Time {
+        self.t_avg
+    }
+
+    /// The *actual* execution time realized for a task with pre-drawn
+    /// `quantile`, if executed on `node` in `state`.
+    #[inline]
+    pub fn actual_time(
+        &self,
+        task_type: TaskTypeId,
+        node: usize,
+        state: PState,
+        quantile: Prob,
+    ) -> Time {
+        self.pmf(task_type, node, state)
+            .quantile(quantile)
+            .expect("trace quantiles are in [0, 1)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecds_cluster::{generate_cluster, ClusterGenConfig};
+
+    fn table() -> (ExecTable, Cluster) {
+        let seeds = SeedDerive::new(77);
+        let cluster = generate_cluster(&ClusterGenConfig::small_for_tests(), &seeds);
+        let cfg = WorkloadConfig::small_for_tests();
+        (ExecTable::generate(&cfg, &cluster, &seeds), cluster)
+    }
+
+    #[test]
+    fn deeper_pstates_run_longer() {
+        let (t, _) = table();
+        for ty in 0..t.num_types() {
+            for n in 0..t.num_nodes() {
+                let mut last = 0.0;
+                for s in PState::ALL {
+                    let eet = t.eet(TaskTypeId(ty), n, s);
+                    assert!(eet > last, "EET must increase with P-state depth");
+                    last = eet;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pstate_scaling_matches_ladder() {
+        let (t, cluster) = table();
+        let ty = TaskTypeId(0);
+        for n in 0..t.num_nodes() {
+            let mult = cluster.node(n).exec_time_multiplier(PState::P4);
+            let base = t.eet(ty, n, PState::P0);
+            let deep = t.eet(ty, n, PState::P4);
+            assert!((deep / base - mult).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn base_eet_tracks_cvb_scale() {
+        let (t, _) = table();
+        // Average base-state EET should be near μ_task = 750 (within the CVB
+        // sampling noise of a small matrix).
+        let mut sum = 0.0;
+        let mut count = 0;
+        for ty in 0..t.num_types() {
+            for n in 0..t.num_nodes() {
+                sum += t.eet(TaskTypeId(ty), n, PState::P0);
+                count += 1;
+            }
+        }
+        let avg = sum / count as f64;
+        assert!((avg - 750.0).abs() < 200.0, "avg base EET {avg}");
+    }
+
+    #[test]
+    fn t_avg_is_grand_mean_of_eets() {
+        let (t, _) = table();
+        let mut sum = 0.0;
+        let mut count = 0;
+        for ty in 0..t.num_types() {
+            for n in 0..t.num_nodes() {
+                for s in PState::ALL {
+                    sum += t.eet(TaskTypeId(ty), n, s);
+                    count += 1;
+                }
+            }
+        }
+        assert!((t.t_avg() - sum / count as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_average_is_per_type_mean() {
+        let (t, _) = table();
+        let ty = TaskTypeId(3);
+        let mut sum = 0.0;
+        for n in 0..t.num_nodes() {
+            for s in PState::ALL {
+                sum += t.eet(ty, n, s);
+            }
+        }
+        let expected = sum / (t.num_nodes() * NUM_PSTATES) as f64;
+        assert!((t.type_average(ty) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn actual_time_is_monotone_in_quantile() {
+        let (t, _) = table();
+        let ty = TaskTypeId(1);
+        let a = t.actual_time(ty, 0, PState::P0, 0.1);
+        let b = t.actual_time(ty, 0, PState::P0, 0.9);
+        assert!(a <= b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn actual_time_scales_with_pstate() {
+        let (t, cluster) = table();
+        let ty = TaskTypeId(1);
+        let q = 0.5;
+        let base = t.actual_time(ty, 0, PState::P0, q);
+        let deep = t.actual_time(ty, 0, PState::P4, q);
+        let mult = cluster.node(0).exec_time_multiplier(PState::P4);
+        assert!((deep / base - mult).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_is_deterministic() {
+        let seeds = SeedDerive::new(5);
+        let cluster = generate_cluster(&ClusterGenConfig::small_for_tests(), &seeds);
+        let cfg = WorkloadConfig::small_for_tests();
+        let a = ExecTable::generate(&cfg, &cluster, &seeds);
+        let b = ExecTable::generate(&cfg, &cluster, &seeds);
+        assert_eq!(a.t_avg(), b.t_avg());
+        assert_eq!(
+            a.pmf(TaskTypeId(0), 0, PState::P2),
+            b.pmf(TaskTypeId(0), 0, PState::P2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on node count")]
+    fn mismatched_cluster_rejected() {
+        let seeds = SeedDerive::new(5);
+        let cluster = generate_cluster(&ClusterGenConfig::small_for_tests(), &seeds);
+        let cfg = WorkloadConfig::small_for_tests();
+        let etc = EtcMatrix::from_means(1, 1, vec![100.0]);
+        let _ = ExecTable::from_etc(&cfg, &cluster, &etc, &seeds);
+    }
+}

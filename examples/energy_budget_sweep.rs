@@ -1,0 +1,64 @@
+//! Sweep the energy budget from starvation to abundance and watch the
+//! constraint stop binding: with a large enough budget the filters stop
+//! mattering and unfiltered MECT catches up.
+//!
+//! ```text
+//! cargo run --release --example energy_budget_sweep
+//! ```
+
+use ecds::prelude::*;
+
+const TRIALS: u64 = 4;
+
+fn main() {
+    let base = Scenario::small_for_tests(1353);
+    let mut table = MarkdownTable::new(&[
+        "budget factor",
+        "MECT/none missed",
+        "MECT/en+rob missed",
+        "budget exhausted (none)",
+    ]);
+
+    for factor in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0] {
+        let scenario = base.with_budget_factor(factor);
+        let mut none_missed = 0.0;
+        let mut filt_missed = 0.0;
+        let mut exhausted = 0usize;
+        for trial in 0..TRIALS {
+            let trace = scenario.trace(trial);
+            let mut none =
+                build_scheduler(HeuristicKind::Mect, FilterVariant::None, &scenario, trial);
+            let none_result = Simulation::new(&scenario, &trace).run(none.as_mut());
+            none_missed += none_result.missed() as f64;
+            exhausted += usize::from(none_result.exhausted_at().is_some());
+            let mut filt = build_scheduler(
+                HeuristicKind::Mect,
+                FilterVariant::EnergyAndRobustness,
+                &scenario,
+                trial,
+            );
+            filt_missed += Simulation::new(&scenario, &trace)
+                .run(filt.as_mut())
+                .missed() as f64;
+        }
+        table.push_row(vec![
+            format!("{factor:.2}"),
+            format!("{:.1}", none_missed / TRIALS as f64),
+            format!("{:.1}", filt_missed / TRIALS as f64),
+            format!("{exhausted}/{TRIALS} trials"),
+        ]);
+    }
+
+    println!(
+        "Mean missed deadlines (of {}) over {TRIALS} trials vs energy budget:\n",
+        base.workload().window
+    );
+    println!("{}", table.render());
+    println!(
+        "Expected shape: at tiny budgets everything misses (the cutoff\n\
+         dominates); at the paper's budget (factor 1.0) filtering wins; with\n\
+         abundant energy the constraint stops binding and the gap closes —\n\
+         the crossover is where energy-awareness stops being worth paying\n\
+         execution time for."
+    );
+}

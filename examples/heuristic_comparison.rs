@@ -1,0 +1,50 @@
+//! Compare all four heuristics, unfiltered vs fully filtered, over several
+//! trials — a miniature of the paper's Figures 2–6.
+//!
+//! ```text
+//! cargo run --release --example heuristic_comparison
+//! ```
+
+use ecds::prelude::*;
+
+const TRIALS: u64 = 8;
+
+fn main() {
+    let scenario = Scenario::small_for_tests(1353);
+    let traces: Vec<WorkloadTrace> = (0..TRIALS).map(|t| scenario.trace(t)).collect();
+
+    let mut series = Vec::new();
+    let mut table = MarkdownTable::new(&["configuration", "median missed", "mean missed"]);
+
+    for kind in HeuristicKind::ALL {
+        for variant in [FilterVariant::None, FilterVariant::EnergyAndRobustness] {
+            let missed: Vec<f64> = traces
+                .iter()
+                .enumerate()
+                .map(|(trial, trace)| {
+                    let mut mapper = build_scheduler(kind, variant, &scenario, trial as u64);
+                    Simulation::new(&scenario, trace).run(mapper.as_mut()).missed() as f64
+                })
+                .collect();
+            let stats = BoxStats::from_samples(&missed).expect("non-empty");
+            table.push_row(vec![
+                format!("{}/{}", kind.label(), variant.label()),
+                format!("{:.1}", stats.median),
+                format!("{:.1}", stats.mean),
+            ]);
+            series.push((format!("{}/{}", kind.label(), variant.label()), stats));
+        }
+    }
+
+    println!(
+        "Missed deadlines over {TRIALS} trials ({} tasks each):\n",
+        scenario.workload().window
+    );
+    println!("{}", render_boxplots(&series, 56));
+    println!("{}", table.render());
+    println!(
+        "The paper's headline: filtering improves every heuristic by >=13%,\n\
+         and even Random with filters lands within a few percent of the best\n\
+         heuristic — the filters, not the heuristic, drive performance."
+    );
+}

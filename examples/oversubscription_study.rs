@@ -1,0 +1,70 @@
+//! How does filtering behave as the system moves from undersubscribed to
+//! heavily oversubscribed? Sweeps a constant arrival rate across the
+//! paper's λ_slow → λ_fast range (the paper's future-work question about
+//! "a variety of arrival rates").
+//!
+//! ```text
+//! cargo run --release --example oversubscription_study
+//! ```
+
+use ecds::prelude::*;
+
+const TRIALS: u64 = 4;
+
+fn main() {
+    let window = 60;
+    let mut table = MarkdownTable::new(&[
+        "arrival rate",
+        "x lambda_eq",
+        "MECT/none missed",
+        "LL/en+rob missed",
+    ]);
+
+    // λ_eq = 1/28 is the paper's equilibrium; sweep from half to 4x.
+    let lambda_eq = 1.0 / 28.0;
+    for factor in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+        let rate = lambda_eq * factor;
+        let mut workload = WorkloadConfig::small_for_tests();
+        workload.window = window;
+        workload.arrivals = BurstPattern::constant(window, rate);
+        let scenario = Scenario::with_configs(
+            1353,
+            ecds::cluster::ClusterGenConfig::small_for_tests(),
+            workload,
+        );
+
+        let mean_missed = |kind: HeuristicKind, variant: FilterVariant| -> f64 {
+            (0..TRIALS)
+                .map(|trial| {
+                    let trace = scenario.trace(trial);
+                    let mut mapper = build_scheduler(kind, variant, &scenario, trial);
+                    Simulation::new(&scenario, &trace).run(mapper.as_mut()).missed() as f64
+                })
+                .sum::<f64>()
+                / TRIALS as f64
+        };
+
+        table.push_row(vec![
+            format!("{rate:.4}"),
+            format!("{factor:.1}"),
+            format!("{:.1}", mean_missed(HeuristicKind::Mect, FilterVariant::None)),
+            format!(
+                "{:.1}",
+                mean_missed(
+                    HeuristicKind::LightestLoad,
+                    FilterVariant::EnergyAndRobustness
+                )
+            ),
+        ]);
+    }
+
+    println!(
+        "Mean missed deadlines (of {window}) over {TRIALS} trials, constant arrival rates:\n"
+    );
+    println!("{}", table.render());
+    println!(
+        "Expected shape: both configurations degrade as the arrival rate\n\
+         passes the cluster's service capacity; the filtered LL degrades\n\
+         more gracefully because it banks energy during slack periods."
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: run one simulated trial with the paper's best-performing
+//! configuration (Lightest Load + energy and robustness filters) and
+//! inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ecds::prelude::*;
+
+fn main() {
+    // A scenario bundles everything held constant across trials: the
+    // heterogeneous cluster, the execution-time pmf table, and the energy
+    // budget ζ_max = t_avg × p_avg × window. Everything derives from one
+    // master seed.
+    let scenario = Scenario::small_for_tests(42);
+    println!(
+        "cluster: {} nodes, {} cores; energy budget {:.3e}",
+        scenario.cluster().num_nodes(),
+        scenario.cluster().total_cores(),
+        scenario.energy_budget().unwrap(),
+    );
+
+    // A trace is one trial's dynamically-arriving task window.
+    let trace = scenario.trace(0);
+    println!(
+        "trace: {} tasks arriving over {:.0} time units",
+        trace.len(),
+        trace.last_arrival()
+    );
+
+    // The paper's winner: LL heuristic behind both filters.
+    let mut mapper = build_scheduler(
+        HeuristicKind::LightestLoad,
+        FilterVariant::EnergyAndRobustness,
+        &scenario,
+        0,
+    );
+    let result = Simulation::new(&scenario, &trace).run(mapper.as_mut());
+
+    println!(
+        "\ncompleted on time within energy: {} / {}",
+        result.completed(),
+        result.window()
+    );
+    println!("missed deadlines:               {}", result.missed());
+    println!("discarded by filters:           {}", result.discarded());
+    println!(
+        "energy consumed:                {:.3e} (budget {:.3e}, exhausted: {})",
+        result.total_energy(),
+        scenario.energy_budget().unwrap(),
+        match result.exhausted_at() {
+            Some(t) => format!("at t={t:.0}"),
+            None => "never".to_string(),
+        }
+    );
+
+    println!("\nfirst five task outcomes:");
+    for outcome in result.outcomes().iter().take(5) {
+        let (core, pstate) = outcome.assignment.expect("assigned");
+        let core_id = scenario.cluster().core(core);
+        println!(
+            "  {:>6}  arrival {:7.1}  deadline {:7.1}  -> core {core_id} in {pstate}, \
+             finished {:7.1} ({})",
+            format!("{}", outcome.task),
+            outcome.arrival,
+            outcome.deadline,
+            outcome.completion.unwrap_or(f64::NAN),
+            if outcome.counted(result.exhausted_at()) {
+                "on time"
+            } else {
+                "missed"
+            },
+        );
+    }
+}

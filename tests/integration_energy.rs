@@ -1,0 +1,101 @@
+//! End-to-end energy-accounting behaviour: budget monotonicity, cutoff
+//! semantics, and the idle-policy ablation.
+
+use ecds::prelude::*;
+
+fn run(scenario: &Scenario, trial: u64) -> TrialResult {
+    let trace = scenario.trace(trial);
+    let mut mapper = build_scheduler(HeuristicKind::Mect, FilterVariant::None, scenario, trial);
+    Simulation::new(scenario, &trace).run(mapper.as_mut())
+}
+
+#[test]
+fn smaller_budgets_never_complete_more() {
+    let base = Scenario::small_for_tests(42);
+    let mut last_completed = usize::MAX;
+    for factor in [2.0, 1.0, 0.5, 0.25, 0.1] {
+        let result = run(&base.with_budget_factor(factor), 0);
+        assert!(
+            result.completed() <= last_completed,
+            "budget factor {factor} completed more than a larger budget"
+        );
+        last_completed = result.completed();
+    }
+}
+
+#[test]
+fn smaller_budgets_exhaust_no_later() {
+    let base = Scenario::small_for_tests(42);
+    let mut last: f64 = f64::INFINITY;
+    for factor in [2.0, 1.0, 0.5, 0.25] {
+        let result = run(&base.with_budget_factor(factor), 0);
+        let t = result.exhausted_at().unwrap_or(f64::INFINITY);
+        assert!(t <= last + 1e-9, "budget factor {factor} exhausted later");
+        last = t;
+    }
+}
+
+#[test]
+fn unconstrained_runs_never_cut_off() {
+    let scenario = Scenario::small_for_tests(42).with_sim_config(SimConfig::unconstrained());
+    let result = run(&scenario, 0);
+    assert_eq!(result.exhausted_at(), None);
+    assert_eq!(result.completed(), result.on_time_ignoring_energy());
+}
+
+#[test]
+fn physical_energy_is_independent_of_the_budget() {
+    // The budget caps *credited* work, not consumption: the same mapper on
+    // the same trace burns the same energy whatever the budget, because
+    // unfiltered MECT never consults the ledger.
+    let base = Scenario::small_for_tests(42);
+    let a = run(&base.with_budget_factor(0.5), 0);
+    let b = run(&base.with_budget_factor(2.0), 0);
+    assert!((a.total_energy() - b.total_energy()).abs() < 1e-6);
+    assert_eq!(a.outcomes(), b.outcomes());
+}
+
+#[test]
+fn idle_linger_burns_more_than_downshift() {
+    let parked = Scenario::small_for_tests(42).with_sim_config(SimConfig::unconstrained());
+    let mut linger_cfg = SimConfig::unconstrained();
+    linger_cfg.idle_downshift = None;
+    let linger = parked.with_sim_config(linger_cfg);
+    let a = run(&parked, 0);
+    let b = run(&linger, 0);
+    // Identical task outcomes; only idle power differs. Unfiltered MECT
+    // parks cores at P0, so lingering costs strictly more.
+    assert_eq!(a.outcomes(), b.outcomes());
+    assert!(b.total_energy() > a.total_energy());
+}
+
+#[test]
+fn cutoff_discounts_late_completions_exactly() {
+    let scenario = Scenario::small_for_tests(42).with_budget_factor(0.5);
+    let result = run(&scenario, 0);
+    let cutoff = result.exhausted_at().expect("starved budget must exhaust");
+    let recount = result
+        .outcomes()
+        .iter()
+        .filter(|o| matches!(o.completion, Some(c) if c <= o.deadline && c <= cutoff))
+        .count();
+    assert_eq!(result.completed(), recount);
+}
+
+#[test]
+fn energy_filter_reduces_consumption() {
+    let scenario = Scenario::small_for_tests(42);
+    let trace = scenario.trace(0);
+    let mut unfiltered =
+        build_scheduler(HeuristicKind::Mect, FilterVariant::None, &scenario, 0);
+    let mut filtered =
+        build_scheduler(HeuristicKind::Mect, FilterVariant::Energy, &scenario, 0);
+    let a = Simulation::new(&scenario, &trace).run(unfiltered.as_mut());
+    let b = Simulation::new(&scenario, &trace).run(filtered.as_mut());
+    assert!(
+        b.total_energy() < a.total_energy(),
+        "energy filter should reduce consumption ({} vs {})",
+        b.total_energy(),
+        a.total_energy()
+    );
+}

@@ -1,0 +1,125 @@
+//! Full-stack trial invariants across the complete 4 × 4 heuristic/filter
+//! grid.
+
+use ecds::prelude::*;
+
+fn grid_results() -> Vec<(HeuristicKind, FilterVariant, TrialResult)> {
+    let scenario = Scenario::small_for_tests(42);
+    let trace = scenario.trace(0);
+    let mut out = Vec::new();
+    for kind in HeuristicKind::ALL {
+        for variant in FilterVariant::ALL {
+            let mut mapper = build_scheduler(kind, variant, &scenario, 0);
+            out.push((
+                kind,
+                variant,
+                Simulation::new(&scenario, &trace).run(mapper.as_mut()),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn conservation_missed_plus_completed_equals_window() {
+    for (kind, variant, result) in grid_results() {
+        assert_eq!(
+            result.missed() + result.completed(),
+            result.window(),
+            "{kind}/{variant}"
+        );
+    }
+}
+
+#[test]
+fn every_outcome_is_internally_consistent() {
+    let scenario = Scenario::small_for_tests(42);
+    let cores = scenario.cluster().total_cores();
+    for (kind, variant, result) in grid_results() {
+        for o in result.outcomes() {
+            match (o.assignment, o.start, o.completion) {
+                (Some((core, _)), Some(start), Some(completion)) => {
+                    assert!(core < cores, "{kind}/{variant}: core out of range");
+                    assert!(start >= o.arrival, "{kind}/{variant}: started early");
+                    assert!(completion > start, "{kind}/{variant}: non-positive runtime");
+                }
+                (None, None, None) => {} // discarded
+                (Some(_), None, None) => {
+                    panic!("{kind}/{variant}: assigned task never started (engine drains queues)")
+                }
+                other => panic!("{kind}/{variant}: inconsistent outcome {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn unfiltered_heuristics_never_discard() {
+    for (kind, variant, result) in grid_results() {
+        if variant == FilterVariant::None {
+            assert_eq!(result.discarded(), 0, "{kind} discarded without filters");
+        }
+    }
+}
+
+#[test]
+fn energy_is_positive_and_cutoff_within_makespan() {
+    for (kind, variant, result) in grid_results() {
+        assert!(result.total_energy() > 0.0, "{kind}/{variant}");
+        if let Some(t) = result.exhausted_at() {
+            assert!(t >= 0.0 && t <= result.makespan() + 1e-9, "{kind}/{variant}");
+        }
+    }
+}
+
+#[test]
+fn fifo_per_core_execution_order() {
+    // Tasks assigned to the same core must start in assignment (arrival)
+    // order — the run queues are FIFO.
+    let scenario = Scenario::small_for_tests(42);
+    let trace = scenario.trace(0);
+    let mut mapper = build_scheduler(HeuristicKind::ShortestQueue, FilterVariant::None, &scenario, 0);
+    let result = Simulation::new(&scenario, &trace).run(mapper.as_mut());
+    let mut per_core: std::collections::HashMap<usize, Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for o in result.outcomes() {
+        if let (Some((core, _)), Some(start)) = (o.assignment, o.start) {
+            per_core.entry(core).or_default().push((o.arrival, start));
+        }
+    }
+    for (core, entries) in per_core {
+        let mut sorted = entries.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let starts: Vec<f64> = sorted.iter().map(|e| e.1).collect();
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "core {core} executed out of FIFO order"
+        );
+    }
+}
+
+#[test]
+fn makespan_is_last_completion() {
+    for (kind, variant, result) in grid_results() {
+        let last = result
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.completion)
+            .fold(0.0f64, f64::max);
+        if last > 0.0 {
+            assert_eq!(result.makespan(), last, "{kind}/{variant}");
+        }
+    }
+}
+
+#[test]
+fn paper_scale_scenario_constructs() {
+    // Construction only (a full paper trial is exercised by the bench
+    // harness; keeping the test suite fast on small machines).
+    let scenario = Scenario::paper(1353);
+    assert_eq!(scenario.cluster().num_nodes(), 8);
+    assert_eq!(scenario.workload().window, 1000);
+    let trace = scenario.trace(0);
+    assert_eq!(trace.len(), 1000);
+    assert!(scenario.energy_budget().unwrap() > 0.0);
+}

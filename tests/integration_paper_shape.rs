@@ -1,0 +1,118 @@
+//! Paper-shape assertions on a scaled-down configuration: the qualitative
+//! findings of Sec. VII must hold in miniature. (The quantitative
+//! reproduction at paper scale lives in the bench harness and
+//! EXPERIMENTS.md; these tests keep the shape from regressing without
+//! paper-scale runtimes.)
+
+use ecds::prelude::*;
+
+const TRIALS: u64 = 6;
+
+/// Mean missed deadlines for one grid cell over a handful of trials.
+fn mean_missed(scenario: &Scenario, kind: HeuristicKind, variant: FilterVariant) -> f64 {
+    let total: usize = (0..TRIALS)
+        .map(|trial| {
+            let trace = scenario.trace(trial);
+            let mut mapper = build_scheduler(kind, variant, scenario, trial);
+            Simulation::new(scenario, &trace).run(mapper.as_mut()).missed()
+        })
+        .sum();
+    total as f64 / TRIALS as f64
+}
+
+fn scenario() -> Scenario {
+    Scenario::small_for_tests(1353)
+}
+
+#[test]
+fn random_is_the_worst_unfiltered_heuristic() {
+    let s = scenario();
+    let s_window = s.workload().window as f64;
+    let random = mean_missed(&s, HeuristicKind::Random, FilterVariant::None);
+    // Strictly worse than the queue-aware heuristics; LL unfiltered is
+    // itself poor (the paper's Fig. 4 vs Fig. 5 gap shrinks at small
+    // scale), so allow a small-tolerance tie there.
+    for kind in [HeuristicKind::ShortestQueue, HeuristicKind::Mect] {
+        let other = mean_missed(&s, kind, FilterVariant::None);
+        assert!(
+            random > other,
+            "unfiltered Random ({random}) should be worst, but {kind} missed {other}"
+        );
+    }
+    let ll = mean_missed(&s, HeuristicKind::LightestLoad, FilterVariant::None);
+    assert!(
+        random >= ll - 0.05 * s_window,
+        "unfiltered Random ({random}) should not be clearly better than LL ({ll})"
+    );
+}
+
+#[test]
+fn full_filtering_beats_unfiltered_for_every_heuristic() {
+    let s = scenario();
+    for kind in HeuristicKind::ALL {
+        let none = mean_missed(&s, kind, FilterVariant::None);
+        let both = mean_missed(&s, kind, FilterVariant::EnergyAndRobustness);
+        assert!(
+            both <= none,
+            "{kind}: en+rob ({both}) should not be worse than none ({none})"
+        );
+    }
+}
+
+#[test]
+fn robustness_filter_alone_changes_little_for_mect() {
+    // Sec. VII: "using robustness filtering without energy filtering causes
+    // no significant change in results for heuristics other than Random" —
+    // MECT already picks the fastest assignment, which the filter keeps.
+    let s = scenario();
+    let none = mean_missed(&s, HeuristicKind::Mect, FilterVariant::None);
+    let rob = mean_missed(&s, HeuristicKind::Mect, FilterVariant::Robustness);
+    let window = s.workload().window as f64;
+    assert!(
+        (rob - none).abs() <= 0.05 * window,
+        "rob-only moved MECT from {none} to {rob}"
+    );
+}
+
+#[test]
+fn robustness_filter_alone_helps_random_substantially() {
+    let s = scenario();
+    let none = mean_missed(&s, HeuristicKind::Random, FilterVariant::None);
+    let rob = mean_missed(&s, HeuristicKind::Random, FilterVariant::Robustness);
+    assert!(
+        rob < none,
+        "rob should rescue Random (none {none}, rob {rob})"
+    );
+}
+
+#[test]
+fn filtered_random_is_competitive_with_the_best() {
+    // Sec. VII: filters, not heuristics, drive performance — filtered
+    // Random lands within a few percent of filtered LL.
+    let s = scenario();
+    let window = s.workload().window as f64;
+    let random = mean_missed(&s, HeuristicKind::Random, FilterVariant::EnergyAndRobustness);
+    let ll = mean_missed(
+        &s,
+        HeuristicKind::LightestLoad,
+        FilterVariant::EnergyAndRobustness,
+    );
+    assert!(
+        (random - ll).abs() <= 0.15 * window,
+        "filtered Random ({random}) should be near filtered LL ({ll})"
+    );
+}
+
+#[test]
+fn energy_constraint_is_binding_at_paper_budget() {
+    // The study is only meaningful if the budget actually bites: the
+    // unfiltered heuristics must exhaust it before the workload ends.
+    let s = scenario();
+    let trace = s.trace(0);
+    let mut mapper = build_scheduler(HeuristicKind::Mect, FilterVariant::None, &s, 0);
+    let result = Simulation::new(&s, &trace).run(mapper.as_mut());
+    assert!(
+        result.exhausted_at().is_some(),
+        "paper budget should be insufficient for energy-oblivious mapping"
+    );
+}

@@ -50,6 +50,12 @@ fn bench_quantile(c: &mut Criterion) {
 }
 
 fn busy_view_fixture() -> (Scenario, Vec<CoreState>) {
+    busy_view_fixture_with_depth(1)
+}
+
+/// Every core executing one task with `depth` more queued behind it
+/// (burst-time telemetry shows per-core depths of this order).
+fn busy_view_fixture_with_depth(depth: usize) -> (Scenario, Vec<CoreState>) {
     let scenario = Scenario::small_for_tests(3);
     let mut cores = vec![CoreState::new(); scenario.cluster().total_cores()];
     for (i, core) in cores.iter_mut().enumerate() {
@@ -60,30 +66,59 @@ fn busy_view_fixture() -> (Scenario, Vec<CoreState>) {
             start: 0.0,
             deadline: 4000.0,
         });
-        core.enqueue(QueuedTask {
-            task: TaskId(100 + i),
-            type_id: TaskTypeId((i + 3) % 10),
-            pstate: ecds_cluster::PState::P2,
-            deadline: 6000.0,
-        });
+        for q in 0..depth {
+            core.enqueue(QueuedTask {
+                task: TaskId(100 + i * depth + q),
+                type_id: TaskTypeId((i + 3 + q) % 10),
+                pstate: ecds_cluster::PState::P2,
+                deadline: 6000.0,
+            });
+        }
     }
     (scenario, cores)
 }
 
-fn bench_candidate_evaluation(c: &mut Criterion) {
-    let (scenario, cores) = busy_view_fixture();
-    let view = SystemView::new(scenario.cluster(), scenario.table(), &cores, 500.0, 10, 60);
-    let task = Task {
+fn probe_task() -> Task {
+    Task {
         id: TaskId(50),
         type_id: TaskTypeId(5),
         arrival: 500.0,
         deadline: 3000.0,
         quantile: 0.5,
-    };
+    }
+}
+
+fn bench_candidate_evaluation(c: &mut Criterion) {
+    let (scenario, cores) = busy_view_fixture();
+    let view = SystemView::new(scenario.cluster(), scenario.table(), &cores, 500.0, 10, 60);
+    let task = probe_task();
     let evaluator = CandidateEvaluator::default();
     c.bench_function("evaluate_all_candidates", |b| {
         b.iter(|| black_box(evaluator.evaluate_all(&view, &task)))
     });
+}
+
+/// The tentpole speedup: `evaluate_all` with every queue-prefix pmf served
+/// from the versioned cache ("warm") against recomputing the prefixes on
+/// every call ("cold"). Same burst-depth view in both arms: with 8 tasks
+/// queued per core the prefix convolution chain dominates the candidate
+/// sweep, which is precisely the load the cache exists for.
+fn bench_prefix_cache_cold_vs_warm(c: &mut Criterion) {
+    let (scenario, cores) = busy_view_fixture_with_depth(8);
+    let view = SystemView::new(scenario.cluster(), scenario.table(), &cores, 500.0, 10, 60);
+    let task = probe_task();
+    let mut group = c.benchmark_group("evaluate_all_prefix_cache");
+    group.bench_function("cold", |b| {
+        let evaluator = CandidateEvaluator::uncached(ecds_pmf::ReductionPolicy::default());
+        b.iter(|| black_box(evaluator.evaluate_all(&view, &task)))
+    });
+    group.bench_function("warm", |b| {
+        let evaluator = CandidateEvaluator::default();
+        // Prime every core's entry so the timed region is all hits.
+        let _ = evaluator.evaluate_all(&view, &task);
+        b.iter(|| black_box(evaluator.evaluate_all(&view, &task)))
+    });
+    group.finish();
 }
 
 fn bench_system_robustness(c: &mut Criterion) {
@@ -118,6 +153,7 @@ criterion_group!(
     bench_truncate,
     bench_quantile,
     bench_candidate_evaluation,
+    bench_prefix_cache_cold_vs_warm,
     bench_system_robustness,
     bench_trace_generation,
     bench_seed_derivation,

@@ -56,6 +56,10 @@ pub struct CellResult {
     pub energy: Vec<f64>,
     /// Tasks discarded by filters per trial.
     pub discarded: Vec<f64>,
+    /// Prefix-cache hits per trial (0 when the mapper runs uncached).
+    pub cache_hits: Vec<u64>,
+    /// Prefix-cache misses per trial (0 when the mapper runs uncached).
+    pub cache_misses: Vec<u64>,
 }
 
 impl CellResult {
@@ -72,6 +76,14 @@ impl CellResult {
     /// Median missed deadlines.
     pub fn median_missed(&self) -> f64 {
         self.stats().median
+    }
+
+    /// Prefix-cache hit rate pooled over the cell's trials, `None` if the
+    /// mapper performed no cached lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits: u64 = self.cache_hits.iter().sum();
+        let total = hits + self.cache_misses.iter().sum::<u64>();
+        (total > 0).then(|| hits as f64 / total as f64)
     }
 }
 
@@ -121,10 +133,13 @@ impl ExperimentGrid {
             let trace = &traces[trial_idx];
             let mut scheduler = build_scheduler(kind, variant, scenario, trial_idx as u64);
             let result = Simulation::new(scenario, trace).run(scheduler.as_mut());
+            let telemetry = result.telemetry();
             (
                 result.missed() as f64,
                 result.total_energy(),
                 result.discarded() as f64,
+                telemetry.prefix_cache_hits,
+                telemetry.prefix_cache_misses,
             )
         });
 
@@ -139,6 +154,8 @@ impl ExperimentGrid {
                     missed: slice.iter().map(|o| o.0).collect(),
                     energy: slice.iter().map(|o| o.1).collect(),
                     discarded: slice.iter().map(|o| o.2).collect(),
+                    cache_hits: slice.iter().map(|o| o.3).collect(),
+                    cache_misses: slice.iter().map(|o| o.4).collect(),
                 }
             })
             .collect();
@@ -240,6 +257,23 @@ mod tests {
             assert_eq!(ca.missed, cb.missed);
             assert_eq!(ca.energy, cb.energy);
         }
+    }
+
+    #[test]
+    fn grid_records_cache_counters_per_trial() {
+        let g = smoke_grid();
+        for cell in &g.cells {
+            assert_eq!(cell.cache_hits.len(), 3);
+            assert_eq!(cell.cache_misses.len(), 3);
+            // Every trial maps at least one task, and the first prefix
+            // lookup on a core is always a miss.
+            assert!(cell.cache_misses.iter().all(|&m| m > 0));
+            let rate = cell.cache_hit_rate().expect("lookups happened");
+            assert!((0.0..=1.0).contains(&rate));
+        }
+        // The candidate sweep revisits cores within one decision, so the
+        // grid as a whole must see real hits.
+        assert!(g.cells.iter().any(|c| c.cache_hit_rate().unwrap() > 0.0));
     }
 
     #[test]

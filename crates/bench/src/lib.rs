@@ -23,4 +23,4 @@ pub mod parallel;
 pub mod report;
 
 pub use experiment::{CellResult, ExperimentConfig, ExperimentGrid};
-pub use parallel::run_parallel;
+pub use parallel::{default_threads, run_parallel};

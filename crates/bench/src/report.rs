@@ -127,6 +127,31 @@ fn grid_window(grid: &ExperimentGrid) -> f64 {
     grid.window as f64
 }
 
+/// One-line summary of the mapper's queue-prefix cache over the whole grid:
+/// pooled hit rate plus the per-cell range (DESIGN.md §7).
+pub fn render_cache_summary(grid: &ExperimentGrid) -> String {
+    let hits: u64 = grid.cells.iter().flat_map(|c| &c.cache_hits).sum();
+    let misses: u64 = grid.cells.iter().flat_map(|c| &c.cache_misses).sum();
+    let total = hits + misses;
+    if total == 0 {
+        return "Prefix cache: no cached lookups recorded\n".to_string();
+    }
+    let rates: Vec<f64> = grid
+        .cells
+        .iter()
+        .filter_map(|c| c.cache_hit_rate())
+        .collect();
+    let lo = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    format!(
+        "Prefix cache: {:.1}% hit rate over {total} lookups \
+         (per-cell {:.1}%–{:.1}%)\n",
+        hits as f64 / total as f64 * 100.0,
+        lo * 100.0,
+        hi * 100.0,
+    )
+}
+
 /// Serializes every cell's raw per-trial data as CSV
 /// (`heuristic,variant,trial,missed,energy,discarded`).
 pub fn grid_csv(grid: &ExperimentGrid) -> String {
@@ -173,6 +198,8 @@ pub fn render_full_report(grid: &ExperimentGrid) -> String {
     out.push_str(&render_best_figure(grid));
     out.push('\n');
     out.push_str(&render_headline_analysis(grid));
+    out.push('\n');
+    out.push_str(&render_cache_summary(grid));
     out
 }
 
@@ -227,6 +254,14 @@ mod tests {
             assert!(report.contains(fig));
         }
         assert!(report.contains("Headline comparisons"));
+    }
+
+    #[test]
+    fn full_report_summarizes_the_prefix_cache() {
+        let g = grid();
+        let line = render_cache_summary(g);
+        assert!(line.contains("% hit rate over"), "got: {line}");
+        assert!(render_full_report(g).contains("Prefix cache:"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Per-assignment estimation: the stochastic completion-time computation of
 //! Sec. IV-B and the expectation operators of Sec. V-A.
 
+use std::cell::{Cell, RefCell};
+
 use ecds_cluster::PState;
 use ecds_pmf::{truncate::truncate_below_or_floor, Pmf, Prob, ReductionPolicy, Time};
 use ecds_sim::SystemView;
@@ -37,16 +39,41 @@ pub fn pending_completion_pmf(
     core: usize,
     policy: ReductionPolicy,
 ) -> Option<Pmf> {
+    prefix_with_validity(view, core, policy).0
+}
+
+/// [`pending_completion_pmf`] plus the inclusive upper bound of the time
+/// window over which the returned prefix stays *bit-identical* while the
+/// core's epoch is unchanged (the basis of the evaluator's cache; see
+/// DESIGN.md §7).
+///
+/// The prefix's only time dependence is the truncation of the executing
+/// task's shifted pmf at `now`: truncating at any `t` with
+/// `now <= t <= min kept impulse` keeps the same impulse set, hence the
+/// same renormalization and the same convolution chain. So the bound is
+/// the truncated pmf's minimum value — including the degenerate floor case
+/// (all mass elapsed → singleton at `now`, valid only at exactly `now`).
+/// Idle empty cores have no time dependence (`None` prefix, bound `+∞`);
+/// the idle-but-queued branch (unreachable with the bundled engine) shifts
+/// by `now` directly, so its bound is `now` itself.
+fn prefix_with_validity(
+    view: &SystemView<'_>,
+    core: usize,
+    policy: ReductionPolicy,
+) -> (Option<Pmf>, Time) {
     let state = view.core_state(core);
     let node = view.cluster().core(core).node;
     let table = view.table();
     let now = view.time();
 
+    let mut valid_until = f64::INFINITY;
     let mut acc: Option<Pmf> = state.executing().map(|exec| {
         let completion = table
             .pmf(exec.type_id, node, exec.pstate)
             .shift(exec.start);
-        truncate_below_or_floor(&completion, now)
+        let truncated = truncate_below_or_floor(&completion, now);
+        valid_until = truncated.min_value();
+        truncated
     });
     for queued in state.queued() {
         let exec_pmf = table.pmf(queued.type_id, node, queued.pstate);
@@ -54,28 +81,131 @@ pub fn pending_completion_pmf(
             Some(prefix) => prefix.convolve(exec_pmf, policy),
             // Unreachable with the bundled engine (it starts tasks on idle
             // cores immediately), but kept correct for custom engines.
-            None => exec_pmf.shift(now),
+            None => {
+                valid_until = now;
+                exec_pmf.shift(now)
+            }
         });
     }
-    acc
+    (acc, valid_until)
+}
+
+/// One core's cached queue prefix: the pmf (or `None` for an idle empty
+/// core) plus the state it is exact for.
+#[derive(Debug, Clone)]
+struct CachedPrefix {
+    /// [`CoreState::epoch`](ecds_sim::CoreState::epoch) at computation time.
+    epoch: u64,
+    /// View time the prefix was computed at.
+    computed_at: Time,
+    /// Inclusive end of the exact-validity window (see
+    /// [`prefix_with_validity`]).
+    valid_until: Time,
+    prefix: Option<Pmf>,
 }
 
 /// Evaluates all candidate assignments for one arriving task, computing the
 /// per-core queue prefix once and reusing it across the five P-states.
+///
+/// By default the evaluator also keeps a *versioned prefix cache*: the
+/// prefix of each core is remembered together with the core's mutation
+/// epoch and its exact-validity time window, and reused across mapping
+/// events as long as both still match. The cache is invisible — reused
+/// prefixes are bit-identical to recomputed ones by construction — and
+/// interiorly mutable, so the evaluation API stays `&self`. The evaluator
+/// is `Send` but not `Sync` (one per scheduler, one scheduler per thread).
 #[derive(Debug)]
 pub struct CandidateEvaluator {
     policy: ReductionPolicy,
+    /// `None` disables caching (differential testing, baselines).
+    cache: Option<RefCell<Vec<Option<CachedPrefix>>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 impl CandidateEvaluator {
-    /// Creates an evaluator with the given convolution reduction policy.
+    /// Creates a caching evaluator with the given convolution reduction
+    /// policy.
     pub fn new(policy: ReductionPolicy) -> Self {
-        Self { policy }
+        Self {
+            policy,
+            cache: Some(RefCell::new(Vec::new())),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Creates an evaluator that recomputes every prefix from scratch —
+    /// the reference the cached evaluator is differentially tested against.
+    pub fn uncached(policy: ReductionPolicy) -> Self {
+        Self {
+            policy,
+            cache: None,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
     }
 
     /// The reduction policy in use.
     pub fn policy(&self) -> ReductionPolicy {
         self.policy
+    }
+
+    /// `(hits, misses)` of the prefix cache since construction or the last
+    /// [`CandidateEvaluator::reset_cache`]; `None` if caching is disabled.
+    pub fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache
+            .as_ref()
+            .map(|_| (self.hits.get(), self.misses.get()))
+    }
+
+    /// Drops every cached prefix and zeroes the hit/miss counters. Must be
+    /// called between trials: a fresh trial resets every core to epoch 0,
+    /// which would otherwise collide with stale entries.
+    pub fn reset_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.borrow_mut().clear();
+        }
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+
+    /// Hands `f` the current queue prefix of `core`, served from the cache
+    /// when the core's epoch and the view time both sit inside the cached
+    /// entry's exact-validity window, recomputed (and re-cached) otherwise.
+    fn with_prefix<R>(
+        &self,
+        view: &SystemView<'_>,
+        core: usize,
+        f: impl FnOnce(Option<&Pmf>) -> R,
+    ) -> R {
+        let Some(cache) = &self.cache else {
+            let (prefix, _) = prefix_with_validity(view, core, self.policy);
+            return f(prefix.as_ref());
+        };
+        let epoch = view.core_epoch(core);
+        let now = view.time();
+        let mut entries = cache.borrow_mut();
+        if entries.len() <= core {
+            entries.resize(view.cluster().total_cores().max(core + 1), None);
+        }
+        let fresh = matches!(
+            &entries[core],
+            Some(e) if e.epoch == epoch && e.computed_at <= now && now <= e.valid_until
+        );
+        if fresh {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            self.misses.set(self.misses.get() + 1);
+            let (prefix, valid_until) = prefix_with_validity(view, core, self.policy);
+            entries[core] = Some(CachedPrefix {
+                epoch,
+                computed_at: now,
+                valid_until,
+                prefix,
+            });
+        }
+        f(entries[core].as_ref().unwrap().prefix.as_ref())
     }
 
     /// Computes the completion-time pmf of assigning `task` to `core` in
@@ -88,8 +218,9 @@ impl CandidateEvaluator {
         core: usize,
         pstate: PState,
     ) -> Pmf {
-        let prefix = pending_completion_pmf(view, core, self.policy);
-        self.completion_pmf_with_prefix(view, task, core, pstate, prefix.as_ref())
+        self.with_prefix(view, core, |prefix| {
+            self.completion_pmf_with_prefix(view, task, core, pstate, prefix)
+        })
     }
 
     fn completion_pmf_with_prefix(
@@ -116,8 +247,9 @@ impl CandidateEvaluator {
         core: usize,
         pstate: PState,
     ) -> AssignmentEstimate {
-        let prefix = pending_completion_pmf(view, core, self.policy);
-        self.evaluate_with_prefix(view, task, core, pstate, prefix.as_ref())
+        self.with_prefix(view, core, |prefix| {
+            self.evaluate_with_prefix(view, task, core, pstate, prefix)
+        })
     }
 
     fn evaluate_with_prefix(
@@ -148,14 +280,15 @@ impl CandidateEvaluator {
         let num_cores = view.cluster().total_cores();
         let mut out = Vec::with_capacity(num_cores * PState::ALL.len());
         for core in 0..num_cores {
-            let prefix = pending_completion_pmf(view, core, self.policy);
-            for pstate in PState::ALL {
-                out.push(EvaluatedCandidate {
-                    core,
-                    pstate,
-                    est: self.evaluate_with_prefix(view, task, core, pstate, prefix.as_ref()),
-                });
-            }
+            self.with_prefix(view, core, |prefix| {
+                for pstate in PState::ALL {
+                    out.push(EvaluatedCandidate {
+                        core,
+                        pstate,
+                        est: self.evaluate_with_prefix(view, task, core, pstate, prefix),
+                    });
+                }
+            });
         }
         out
     }
@@ -311,6 +444,131 @@ mod tests {
         }
         let again = ev.evaluate_all(&view, &task);
         assert_eq!(all, again);
+    }
+
+    #[test]
+    fn repeated_evaluate_all_hits_the_cache() {
+        let s = scenario();
+        let cores = idle_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60);
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default();
+        let n = s.cluster().total_cores() as u64;
+        let first = ev.evaluate_all(&view, &task);
+        assert_eq!(ev.prefix_cache_stats(), Some((0, n)));
+        let second = ev.evaluate_all(&view, &task);
+        assert_eq!(ev.prefix_cache_stats(), Some((n, n)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_the_cached_prefix() {
+        let s = scenario();
+        let mut cores = idle_cores(&s);
+        let task = mk_task(&s, 5.0);
+        let ev = CandidateEvaluator::default();
+        {
+            let view = SystemView::new(s.cluster(), s.table(), &cores, 5.0, 1, 60);
+            let _ = ev.evaluate(&view, &task, 0, PState::P0);
+        }
+        cores[0].start(ExecutingTask {
+            task: TaskId(3),
+            type_id: TaskTypeId(1),
+            pstate: PState::P0,
+            start: 5.0,
+            deadline: 5000.0,
+        });
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 5.0, 1, 60);
+        let cached = ev.evaluate(&view, &task, 0, PState::P0);
+        let reference = CandidateEvaluator::uncached(ReductionPolicy::default())
+            .evaluate(&view, &task, 0, PState::P0);
+        assert_eq!(ev.prefix_cache_stats(), Some((0, 2)), "mutation must miss");
+        assert_eq!(cached, reference);
+    }
+
+    #[test]
+    fn time_advance_within_window_hits_and_stays_exact() {
+        let s = scenario();
+        let mut cores = idle_cores(&s);
+        cores[0].start(ExecutingTask {
+            task: TaskId(3),
+            type_id: TaskTypeId(1),
+            pstate: PState::P2,
+            start: 0.0,
+            deadline: 5000.0,
+        });
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default();
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 60);
+        let at_t1 = ev.completion_pmf(&view, &task, 0, PState::P0);
+        // The executing pmf's support starts well above t=1, so a small
+        // advance keeps the truncation unchanged: the lookup must hit and
+        // the pmf must be bit-identical to an uncached recompute.
+        let later = SystemView::new(s.cluster(), s.table(), &cores, 2.0, 2, 60);
+        let at_t2 = ev.completion_pmf(&later, &task, 0, PState::P0);
+        assert_eq!(ev.prefix_cache_stats(), Some((1, 1)));
+        assert_eq!(at_t1, at_t2);
+        let reference = CandidateEvaluator::uncached(ReductionPolicy::default())
+            .completion_pmf(&later, &task, 0, PState::P0);
+        assert_eq!(at_t2, reference);
+    }
+
+    #[test]
+    fn time_advance_past_first_impulse_misses_and_recomputes() {
+        let s = scenario();
+        let mut cores = idle_cores(&s);
+        cores[0].start(ExecutingTask {
+            task: TaskId(3),
+            type_id: TaskTypeId(1),
+            pstate: PState::P4,
+            start: 0.0,
+            deadline: 50_000.0,
+        });
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default();
+        let node = s.cluster().core(0).node;
+        let raw = s.table().pmf(TaskTypeId(1), node, PState::P4);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 60);
+        let _ = ev.completion_pmf(&view, &task, 0, PState::P0);
+        // Jump past the support's start: some impulses fall into the past,
+        // the truncation changes, and the cache must recompute.
+        let late_t = raw.min_value() + raw.expectation() * 0.5;
+        let late = SystemView::new(s.cluster(), s.table(), &cores, late_t, 2, 60);
+        let recomputed = ev.completion_pmf(&late, &task, 0, PState::P0);
+        assert_eq!(ev.prefix_cache_stats(), Some((0, 2)));
+        let reference = CandidateEvaluator::uncached(ReductionPolicy::default())
+            .completion_pmf(&late, &task, 0, PState::P0);
+        assert_eq!(recomputed, reference);
+    }
+
+    #[test]
+    fn reset_cache_clears_entries_and_counters() {
+        let s = scenario();
+        let cores = idle_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60);
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default();
+        let _ = ev.evaluate_all(&view, &task);
+        let _ = ev.evaluate_all(&view, &task);
+        ev.reset_cache();
+        assert_eq!(ev.prefix_cache_stats(), Some((0, 0)));
+        let _ = ev.evaluate_all(&view, &task);
+        let n = s.cluster().total_cores() as u64;
+        assert_eq!(ev.prefix_cache_stats(), Some((0, n)), "entries were dropped");
+    }
+
+    #[test]
+    fn uncached_evaluator_reports_no_stats() {
+        let ev = CandidateEvaluator::uncached(ReductionPolicy::default());
+        assert_eq!(ev.prefix_cache_stats(), None);
+        ev.reset_cache(); // must be a harmless no-op
+        assert_eq!(ev.prefix_cache_stats(), None);
+    }
+
+    #[test]
+    fn evaluator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CandidateEvaluator>();
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod robustness;
 pub mod scheduler;
 
 pub use candidate::EvaluatedCandidate;
-pub use estimate::{AssignmentEstimate, CandidateEvaluator};
+pub use estimate::{pending_completion_pmf, AssignmentEstimate, CandidateEvaluator};
 pub use factory::{build_scheduler, FilterVariant, HeuristicKind};
 pub use filters::energy::{EnergyFilter, ZetaMulPolicy};
 pub use filters::robustness::RobustnessFilter;

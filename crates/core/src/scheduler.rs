@@ -81,6 +81,15 @@ impl Scheduler {
         }
     }
 
+    /// Disables the evaluator's queue-prefix pmf cache, recomputing every
+    /// prefix from scratch. The reference configuration the cached default
+    /// is differentially tested against; also useful for benchmarking the
+    /// cache itself.
+    pub fn without_prefix_cache(mut self) -> Self {
+        self.evaluator = CandidateEvaluator::uncached(self.evaluator.policy());
+        self
+    }
+
     /// Enables recording of `(task, ρ)` pairs — the robustness value of
     /// every chosen assignment — for the model-validation harness (the
     /// `validate` binary compares these predictions against realized
@@ -123,6 +132,13 @@ impl Mapper for Scheduler {
         self.remaining = self.budget;
         self.predictions.clear();
         self.heuristic.reset();
+        // A fresh trial rebuilds every core at epoch 0, so stale entries
+        // from the previous trial would collide with the new epoch stream.
+        self.evaluator.reset_cache();
+    }
+
+    fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
+        self.evaluator.prefix_cache_stats()
     }
 
     fn assign(&mut self, task: &Task, view: &SystemView<'_>) -> Option<Assignment> {

@@ -177,6 +177,10 @@ impl<'a> Simulation<'a> {
         }
 
         accountant.finalize(end_time);
+        if let Some((hits, misses)) = mapper.prefix_cache_stats() {
+            telemetry.prefix_cache_hits = hits;
+            telemetry.prefix_cache_misses = misses;
+        }
         telemetry.power = accountant.power_timeline(cluster);
         let total_energy = accountant.total_energy(cluster);
         let exhausted_at = cfg

@@ -34,7 +34,6 @@ impl EnergyBreakdown {
     /// Computes the decomposition for `result` under `scenario`.
     pub fn compute(scenario: &Scenario, result: &TrialResult) -> Self {
         let cluster: &Cluster = scenario.cluster();
-        let mut busy_energy = 0.0;
         let mut busy_time = 0.0;
         let mut busy_by_pstate = [0.0; NUM_PSTATES];
         let mut busy_by_node = vec![0.0; cluster.num_nodes()];
@@ -48,11 +47,13 @@ impl EnergyBreakdown {
             let node_idx = cluster.core(core).node;
             let node = cluster.node(node_idx);
             let wall = node.power.watts(pstate) / node.efficiency * duration;
-            busy_energy += wall;
             busy_time += duration;
             busy_by_pstate[pstate.index()] += wall;
             busy_by_node[node_idx] += wall;
         }
+        // Derive the total from the per-node split so the two views are
+        // bit-identical regardless of floating-point accumulation order.
+        let busy_energy: f64 = busy_by_node.iter().sum();
         let idle_energy = (result.total_energy() - busy_energy).max(0.0);
         Self {
             busy_energy,
@@ -173,10 +174,23 @@ mod tests {
 
     #[test]
     fn idle_dominates_on_an_undersubscribed_system() {
-        // The small scenario's lull leaves most cores parked at P4;
-        // with the idle-downshift default the idle draw is cheap per unit
-        // time but the idle time is long.
-        let (_, _, b) = breakdown(PState::P0);
+        // Arrivals 10× slower than the standard small scenario leave most
+        // cores parked most of the time, so busy core-time is a minority
+        // of the available core-time.
+        use ecds_cluster::ClusterGenConfig;
+        use ecds_workload::{BurstPattern, WorkloadConfig};
+        let workload = WorkloadConfig {
+            arrivals: BurstPattern::scaled_with_rates(60, 1.0 / 560.0, 1.0 / 3360.0),
+            ..WorkloadConfig::small_for_tests()
+        };
+        let s = Scenario::with_configs(42, ClusterGenConfig::small_for_tests(), workload)
+            .with_sim_config(SimConfig::unconstrained());
+        let trace = s.trace(0);
+        let r = Simulation::new(&s, &trace).run(&mut RoundRobin {
+            next: 0,
+            pstate: PState::P0,
+        });
+        let b = EnergyBreakdown::compute(&s, &r);
         assert!(b.utilization() < 0.5, "utilization {}", b.utilization());
     }
 }

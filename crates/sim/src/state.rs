@@ -41,12 +41,26 @@ pub struct ExecutingTask {
 pub struct CoreState {
     executing: Option<ExecutingTask>,
     queued: VecDeque<QueuedTask>,
+    /// Monotone mutation counter: bumped by every state change so derived
+    /// quantities (the mapper's queue-prefix pmf cache) can detect
+    /// staleness without comparing queue contents.
+    epoch: u64,
 }
 
 impl CoreState {
     /// A fresh idle core.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The mutation epoch: strictly increases on every [`enqueue`]
+    /// (`CoreState::enqueue`), [`start`](CoreState::start),
+    /// [`complete`](CoreState::complete), and
+    /// [`pop_queued`](CoreState::pop_queued). Two observations of the same
+    /// core with equal epochs saw identical executing/queued state.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The executing task, if any.
@@ -78,25 +92,32 @@ impl CoreState {
     /// Appends a task to the wait queue.
     pub fn enqueue(&mut self, task: QueuedTask) {
         self.queued.push_back(task);
+        self.epoch += 1;
     }
 
     /// Marks `task` as executing. The core must be idle.
     pub fn start(&mut self, task: ExecutingTask) {
         assert!(self.executing.is_none(), "core already executing a task");
         self.executing = Some(task);
+        self.epoch += 1;
     }
 
     /// Finishes the executing task, returning it; the next queued task (if
     /// any) is returned for the engine to start.
     pub fn complete(&mut self) -> (ExecutingTask, Option<QueuedTask>) {
         let done = self.executing.take().expect("no task executing");
+        self.epoch += 1;
         (done, self.queued.pop_front())
     }
 
     /// Pops the next waiting task without starting it — used by the
     /// cancel-overdue extension to skip tasks that already missed.
     pub fn pop_queued(&mut self) -> Option<QueuedTask> {
-        self.queued.pop_front()
+        let popped = self.queued.pop_front();
+        if popped.is_some() {
+            self.epoch += 1;
+        }
+        popped
     }
 }
 
@@ -175,6 +196,35 @@ mod tests {
     fn complete_idle_panics() {
         let mut c = CoreState::new();
         let _ = c.complete();
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut c = CoreState::new();
+        assert_eq!(c.epoch(), 0);
+        c.enqueue(queued(1));
+        assert_eq!(c.epoch(), 1);
+        c.start(executing(0));
+        assert_eq!(c.epoch(), 2);
+        let _ = c.complete();
+        assert_eq!(c.epoch(), 3);
+        c.enqueue(queued(2));
+        let _ = c.pop_queued();
+        assert_eq!(c.epoch(), 5);
+    }
+
+    #[test]
+    fn epoch_unchanged_by_reads_and_empty_pop() {
+        let mut c = CoreState::new();
+        c.enqueue(queued(1));
+        let before = c.epoch();
+        let _ = c.depth();
+        let _ = c.is_idle();
+        let _: Vec<_> = c.queued().collect();
+        assert_eq!(c.epoch(), before);
+        let mut empty = CoreState::new();
+        assert!(empty.pop_queued().is_none());
+        assert_eq!(empty.epoch(), 0, "popping nothing is not a mutation");
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub struct Telemetry {
     /// P-state transition logs after the run; integrating it over the
     /// makespan reproduces the trial's total energy exactly).
     pub power: Vec<(Time, f64)>,
+    /// Queue-prefix pmf cache hits reported by the mapper for this trial
+    /// (zero for mappers without a cache). Diagnostic only: does not affect
+    /// scheduling decisions.
+    pub prefix_cache_hits: u64,
+    /// Queue-prefix pmf cache misses reported by the mapper for this trial
+    /// (zero for mappers without a cache).
+    pub prefix_cache_misses: u64,
 }
 
 impl Telemetry {
@@ -33,6 +40,13 @@ impl Telemetry {
     pub fn sample(&mut self, time: Time, avg_depth: f64, busy: usize) {
         self.queue_depth.push((time, avg_depth));
         self.busy_cores.push((time, busy));
+    }
+
+    /// Fraction of prefix-cache lookups that hit, or `None` when the mapper
+    /// reported no lookups at all (e.g. it does not cache).
+    pub fn prefix_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.prefix_cache_hits + self.prefix_cache_misses;
+        (total > 0).then(|| self.prefix_cache_hits as f64 / total as f64)
     }
 
     /// Peak average queue depth over the trial.
@@ -90,6 +104,19 @@ mod tests {
     #[test]
     fn peak_of_empty_is_zero() {
         assert_eq!(Telemetry::new().peak_queue_depth(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_none_without_lookups() {
+        assert_eq!(Telemetry::new().prefix_cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_divides_hits_by_total() {
+        let mut t = Telemetry::new();
+        t.prefix_cache_hits = 3;
+        t.prefix_cache_misses = 1;
+        assert_eq!(t.prefix_cache_hit_rate(), Some(0.75));
     }
 
     #[test]

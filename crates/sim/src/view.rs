@@ -33,6 +33,14 @@ pub trait Mapper {
     /// Hook invoked once before a trial starts, letting stateful mappers
     /// reset ledgers. Default: no-op.
     fn on_trial_start(&mut self) {}
+
+    /// `(hits, misses)` of the mapper's queue-prefix pmf cache since the
+    /// last [`Mapper::on_trial_start`], or `None` for mappers that do not
+    /// cache. The engine copies this into [`crate::Telemetry`] after each
+    /// trial. Default: `None`.
+    fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// A read-only snapshot of the system handed to the mapper at a mapping
@@ -102,6 +110,14 @@ impl<'a> SystemView<'a> {
     #[inline]
     pub fn core_states(&self) -> &'a [CoreState] {
         self.cores
+    }
+
+    /// Mutation epoch of the core with flat index `core` — the staleness
+    /// key for caches of per-core derived state (see
+    /// [`CoreState::epoch`](crate::CoreState::epoch)).
+    #[inline]
+    pub fn core_epoch(&self, core: usize) -> u64 {
+        self.cores[core].epoch()
     }
 
     /// Tasks that have arrived so far, *including* the one being mapped.

@@ -50,6 +50,15 @@ fn main() {
             "{:<16} (time axis: 0 .. {:.0}, {} buckets)",
             "", result.makespan(), BUCKETS
         );
+        if let Some(rate) = telemetry.prefix_cache_hit_rate() {
+            println!(
+                "{:<16} prefix cache: {:.1}% hit rate ({} hits / {} lookups)",
+                "",
+                rate * 100.0,
+                telemetry.prefix_cache_hits,
+                telemetry.prefix_cache_hits + telemetry.prefix_cache_misses
+            );
+        }
     }
 
     println!(

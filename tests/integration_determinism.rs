@@ -74,6 +74,42 @@ fn random_heuristic_is_reproducible_per_trial_index() {
 }
 
 #[test]
+fn parallel_trials_are_deterministic_across_thread_counts() {
+    // Fan the same trial set out over 1 thread and over the machine's full
+    // parallelism. Schedulers (with the prefix cache enabled — the factory
+    // default) are built per work item, so per-trial results must be
+    // bit-identical no matter how work lands on threads.
+    use ecds_bench::{default_threads, run_parallel};
+
+    let scenario = Scenario::small_for_tests(23);
+    let traces: Vec<_> = (0..6u64).map(|t| scenario.trace(t)).collect();
+    let run_all = |threads: usize| {
+        run_parallel(traces.len(), threads, |idx| {
+            let mut mapper = build_scheduler(
+                HeuristicKind::LightestLoad,
+                FilterVariant::EnergyAndRobustness,
+                &scenario,
+                idx as u64,
+            );
+            Simulation::new(&scenario, &traces[idx]).run(mapper.as_mut())
+        })
+    };
+    let serial = run_all(1);
+    let parallel = run_all(default_threads());
+    assert_eq!(serial.len(), parallel.len());
+    for (trial, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.outcomes(), b.outcomes(), "trial {trial} diverged");
+        assert_eq!(a.total_energy(), b.total_energy(), "trial {trial} energy");
+        assert_eq!(a.makespan(), b.makespan(), "trial {trial} makespan");
+        assert_eq!(
+            a.telemetry(),
+            b.telemetry(),
+            "trial {trial} telemetry (including cache counters) diverged"
+        );
+    }
+}
+
+#[test]
 fn scenario_artifacts_are_stable() {
     let a = Scenario::small_for_tests(77);
     let b = Scenario::small_for_tests(77);

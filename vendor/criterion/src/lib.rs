@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate (see DESIGN.md §6).
+//!
+//! Implements the API subset this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Two run modes, matching upstream's behaviour under cargo:
+//! * `cargo bench` passes `--bench`, selecting full measurement: a warm-up
+//!   phase, then `sample_size` timed samples, reporting mean / min / max
+//!   per-iteration wall time.
+//! * `cargo test` passes no `--bench`, selecting smoke mode: each benchmark
+//!   body runs once so broken benches fail fast without burning CI time.
+//!
+//! No plotting, no statistical regression analysis, no saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+const WARM_UP: Duration = Duration::from_millis(300);
+const MEASUREMENT: Duration = Duration::from_secs(1);
+
+/// How a benchmark executable was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full timing (`cargo bench` passes `--bench`).
+    Bench,
+    /// Run each body once (`cargo test` on a `harness = false` bench).
+    Test,
+}
+
+/// The benchmark driver handed to each registered function.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Test;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Bench,
+                // Flags cargo's test harness protocol may pass; ignore them.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self.mode, &self.filter, &id, 100, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `{group}/{id}`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `{group}/{id}`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (Upstream emits summary plots here; we have none.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` / `bench_with_input` id slots.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_count: usize,
+    /// Per-iteration times of the final measurement, once recorded.
+    elapsed: Option<MeasuredTimes>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasuredTimes {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up: run until the warm-up budget elapses, counting iterations
+        // to size the per-sample batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+
+        // Batch iterations so each of the `sample_count` samples spends
+        // roughly MEASUREMENT / sample_count of wall time.
+        let sample_count = self.sample_count;
+        let target_sample_ns = (MEASUREMENT.as_nanos() as u64 / sample_count as u64).max(1);
+        let batch = (target_sample_ns / per_iter.max(1)).clamp(1, 1 << 24);
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let sample = start.elapsed() / batch as u32;
+            min = min.min(sample);
+            max = max.max(sample);
+            total += sample;
+        }
+        self.elapsed = Some(MeasuredTimes {
+            mean: total / sample_count as u32,
+            min,
+            max,
+        });
+    }
+}
+
+impl Bencher {
+    fn new(mode: Mode, sample_count: usize) -> Self {
+        Self {
+            mode,
+            elapsed: None,
+            sample_count,
+        }
+    }
+}
+
+/// Runs one benchmark in the appropriate mode and prints its report line.
+fn run_benchmark<F>(mode: Mode, filter: &Option<String>, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher::new(mode, sample_size);
+    f(&mut bencher);
+    match mode {
+        Mode::Test => println!("{id}: ok (smoke)"),
+        Mode::Bench => match bencher.elapsed {
+            Some(t) => println!(
+                "{id:<48} time: [{} {} {}]",
+                fmt_duration(t.min),
+                fmt_duration(t.mean),
+                fmt_duration(t.max),
+            ),
+            None => println!("{id}: no measurement (Bencher::iter never called)"),
+        },
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($fun(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("conv", 64).id, "conv/64");
+        assert_eq!(BenchmarkId::from_parameter("LL/en+rob").id, "LL/en+rob");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut runs = 0;
+        let mut bencher = Bencher::new(Mode::Test, 10);
+        bencher.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(bencher.elapsed.is_none());
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+
+    #[test]
+    fn group_filter_skips_nonmatching() {
+        let mode = Mode::Test;
+        let filter = Some("match-me".to_string());
+        let mut ran = false;
+        run_benchmark(mode, &filter, "other/bench", 10, |_| ran = true);
+        assert!(!ran);
+        run_benchmark(mode, &filter, "group/match-me", 10, |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,66 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding `true` with probability `probability_true`.
+pub fn weighted(probability_true: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability_true),
+        "probability must be in [0, 1]"
+    );
+    Weighted { probability_true }
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    probability_true: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.rng().gen_bool(self.probability_true)
+    }
+}
+
+/// Fair-coin strategy (mirrors upstream `prop::bool::ANY`).
+pub const ANY: Any = Any;
+
+/// Strategy behind [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.rng().gen_bool(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_extremes_are_certain() {
+        let mut rng = TestRng::deterministic("weighted_extremes");
+        for _ in 0..50 {
+            assert!(weighted(1.0).sample(&mut rng));
+            assert!(!weighted(0.0).sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn weighted_low_probability_is_mostly_false() {
+        let mut rng = TestRng::deterministic("weighted_low");
+        let trues = (0..10_000)
+            .filter(|_| weighted(0.2).sample(&mut rng))
+            .count();
+        assert!((1_500..2_500).contains(&trues), "trues = {trues}");
+    }
+}

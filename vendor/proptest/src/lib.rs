@@ -1,0 +1,162 @@
+//! Offline stand-in for the `proptest` crate (see DESIGN.md §6).
+//!
+//! Provides the API subset this workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range / tuple /
+//! collection / bool strategies, the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for hermetic builds:
+//! no shrinking (failing inputs are printed instead of minimized), no
+//! persisted failure seeds (runs are deterministic per test name), and no
+//! `any::<T>()` / `Arbitrary` machinery (use explicit range strategies).
+
+#![warn(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors upstream's `prop` module re-exports.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let values = (
+                    $($crate::strategy::Strategy::sample(&($strat), &mut rng),)+
+                );
+                // Capture inputs *before* the body may move them, so a
+                // failure can report what was drawn (no shrinking here).
+                let described = format!("{values:#?}");
+                let ($($arg,)+) = values;
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {case}/{} with inputs:\n{described}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in prop::collection::vec((0usize..4, 0.0f64..1.0), 1..=8),
+            flag in prop::bool::weighted(0.5),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 8);
+            prop_assert!(v.iter().all(|&(a, b)| a < 4 && (0.0..1.0).contains(&b)));
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_controls_case_count(_x in 0i32..3) {
+            // Body runs exactly `cases` times; nothing to assert per case.
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (1u64..5).prop_map(|x| x * 10);
+        let mut rng = TestRng::deterministic("prop_map_transforms_values");
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        use crate::strategy::{Just, Strategy};
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::deterministic("just");
+        assert_eq!(Just(42).sample(&mut rng), 42);
+    }
+}

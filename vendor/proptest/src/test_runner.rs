@@ -1,0 +1,77 @@
+//! Test configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Matches upstream proptest's default of 256 cases.
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded from the test name so every test
+/// has its own reproducible stream (there is no failure-seed persistence).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// A deterministic RNG for the named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion in seed_from_u64.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator (used by strategy implementations).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_name_same_stream() {
+        let a = TestRng::deterministic("alpha").rng().next_u64();
+        let b = TestRng::deterministic("alpha").rng().next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let a = TestRng::deterministic("alpha").rng().next_u64();
+        let b = TestRng::deterministic("beta").rng().next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn default_matches_upstream_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

@@ -60,6 +60,9 @@ pub struct CellResult {
     pub cache_hits: Vec<u64>,
     /// Prefix-cache misses per trial (0 when the mapper runs uncached).
     pub cache_misses: Vec<u64>,
+    /// Fused pmf-kernel invocations per trial (0 when the mapper runs the
+    /// legacy kernel) — allocation-free-path coverage.
+    pub fused_calls: Vec<u64>,
 }
 
 impl CellResult {
@@ -140,6 +143,7 @@ impl ExperimentGrid {
                 result.discarded() as f64,
                 telemetry.prefix_cache_hits,
                 telemetry.prefix_cache_misses,
+                telemetry.fused_kernel_calls,
             )
         });
 
@@ -156,6 +160,7 @@ impl ExperimentGrid {
                     discarded: slice.iter().map(|o| o.2).collect(),
                     cache_hits: slice.iter().map(|o| o.3).collect(),
                     cache_misses: slice.iter().map(|o| o.4).collect(),
+                    fused_calls: slice.iter().map(|o| o.5).collect(),
                 }
             })
             .collect();
@@ -274,6 +279,17 @@ mod tests {
         // The candidate sweep revisits cores within one decision, so the
         // grid as a whole must see real hits.
         assert!(g.cells.iter().any(|c| c.cache_hit_rate().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn grid_records_fused_kernel_calls_per_trial() {
+        let g = smoke_grid();
+        for cell in &g.cells {
+            assert_eq!(cell.fused_calls.len(), 3);
+            // Busy cores appear in every trial, so every trial runs real
+            // convolutions through the fused kernel.
+            assert!(cell.fused_calls.iter().all(|&c| c > 0));
+        }
     }
 
     #[test]

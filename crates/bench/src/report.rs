@@ -152,6 +152,23 @@ pub fn render_cache_summary(grid: &ExperimentGrid) -> String {
     )
 }
 
+/// One-line summary of fused-kernel coverage over the whole grid: total
+/// invocations plus the per-trial range — the allocation-free-path baseline
+/// future perf work measures against (DESIGN.md §7).
+pub fn render_kernel_summary(grid: &ExperimentGrid) -> String {
+    let total: u64 = grid.cells.iter().flat_map(|c| &c.fused_calls).sum();
+    if total == 0 {
+        return "Fused kernel: no invocations recorded (legacy pipeline)\n".to_string();
+    }
+    let per_trial = grid.cells.iter().flat_map(|c| c.fused_calls.iter().copied());
+    let lo = per_trial.clone().min().unwrap_or(0);
+    let hi = per_trial.max().unwrap_or(0);
+    format!(
+        "Fused kernel: {total} allocation-free convolutions \
+         (per-trial {lo}–{hi})\n"
+    )
+}
+
 /// Serializes every cell's raw per-trial data as CSV
 /// (`heuristic,variant,trial,missed,energy,discarded`).
 pub fn grid_csv(grid: &ExperimentGrid) -> String {
@@ -200,6 +217,7 @@ pub fn render_full_report(grid: &ExperimentGrid) -> String {
     out.push_str(&render_headline_analysis(grid));
     out.push('\n');
     out.push_str(&render_cache_summary(grid));
+    out.push_str(&render_kernel_summary(grid));
     out
 }
 
@@ -262,6 +280,14 @@ mod tests {
         let line = render_cache_summary(g);
         assert!(line.contains("% hit rate over"), "got: {line}");
         assert!(render_full_report(g).contains("Prefix cache:"));
+    }
+
+    #[test]
+    fn full_report_summarizes_fused_kernel_coverage() {
+        let g = grid();
+        let line = render_kernel_summary(g);
+        assert!(line.contains("allocation-free convolutions"), "got: {line}");
+        assert!(render_full_report(g).contains("Fused kernel:"));
     }
 
     #[test]

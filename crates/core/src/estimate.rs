@@ -4,7 +4,7 @@
 use std::cell::{Cell, RefCell};
 
 use ecds_cluster::PState;
-use ecds_pmf::{truncate::truncate_below_or_floor, Pmf, Prob, ReductionPolicy, Time};
+use ecds_pmf::{Pmf, PmfScratch, Prob, ReductionPolicy, Time};
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 
@@ -68,12 +68,12 @@ fn prefix_with_validity(
 
     let mut valid_until = f64::INFINITY;
     let mut acc: Option<Pmf> = state.executing().map(|exec| {
-        let completion = table
+        let mut completion = table
             .pmf(exec.type_id, node, exec.pstate)
             .shift(exec.start);
-        let truncated = truncate_below_or_floor(&completion, now);
-        valid_until = truncated.min_value();
-        truncated
+        completion.truncate_below_or_floor_in_place(now);
+        valid_until = completion.min_value();
+        completion
     });
     for queued in state.queued() {
         let exec_pmf = table.pmf(queued.type_id, node, queued.pstate);
@@ -88,6 +88,66 @@ fn prefix_with_validity(
         });
     }
     (acc, valid_until)
+}
+
+/// [`prefix_with_validity`] built entirely inside a [`PmfScratch`]: the
+/// shift, truncation, and every convolution of the chain run on the
+/// scratch's resident prefix buffer (zero intermediate `Pmf`s), and the
+/// result is materialized once at the end — for the cache entry that every
+/// later lookup borrows. Bit-identical to the legacy builder (see
+/// `ecds_pmf::scratch`).
+fn prefix_with_validity_fused(
+    view: &SystemView<'_>,
+    core: usize,
+    policy: ReductionPolicy,
+    scratch: &mut PmfScratch,
+) -> (Option<Pmf>, Time) {
+    let state = view.core_state(core);
+    let node = view.cluster().core(core).node;
+    let table = view.table();
+    let now = view.time();
+
+    let mut valid_until = f64::INFINITY;
+    scratch.clear_prefix();
+    if let Some(exec) = state.executing() {
+        scratch.load_prefix_shifted(table.pmf(exec.type_id, node, exec.pstate), exec.start);
+        scratch.truncate_prefix_below_or_floor(now);
+        valid_until = scratch.prefix().min_value();
+    }
+    for queued in state.queued() {
+        let exec_pmf = table.pmf(queued.type_id, node, queued.pstate);
+        if scratch.has_prefix() {
+            scratch.convolve_prefix_with(exec_pmf, policy);
+        } else {
+            // Unreachable with the bundled engine; see the legacy builder.
+            valid_until = now;
+            scratch.load_prefix_shifted(exec_pmf, now);
+        }
+    }
+    let prefix = scratch.has_prefix().then(|| scratch.prefix().to_pmf());
+    (prefix, valid_until)
+}
+
+/// `pmf.shift(dt).expectation()` without materializing the shifted pmf:
+/// the sum runs over `(value + dt) * prob` in impulse order — exactly the
+/// `weighted_value` terms [`Pmf::expectation`] would add — so the result is
+/// bit-identical to the allocating form.
+fn shifted_expectation(pmf: &Pmf, dt: Time) -> f64 {
+    pmf.impulses().iter().map(|i| (i.value + dt) * i.prob).sum()
+}
+
+/// `pmf.shift(dt).prob_le(x)` without materializing the shifted pmf — the
+/// same accumulate-and-break loop as [`Pmf::prob_le`] over `value + dt`.
+fn shifted_prob_le(pmf: &Pmf, dt: Time, x: Time) -> Prob {
+    let mut acc = 0.0;
+    for imp in pmf.impulses() {
+        if imp.value + dt <= x {
+            acc += imp.prob;
+        } else {
+            break;
+        }
+    }
+    acc.min(1.0)
 }
 
 /// One core's cached queue prefix: the pmf (or `None` for an idle empty
@@ -114,11 +174,20 @@ struct CachedPrefix {
 /// prefixes are bit-identical to recomputed ones by construction — and
 /// interiorly mutable, so the evaluation API stays `&self`. The evaluator
 /// is `Send` but not `Sync` (one per scheduler, one scheduler per thread).
+///
+/// Orthogonally to the cache, the evaluator owns a [`PmfScratch`] and runs
+/// every candidate convolution through the allocation-free fused kernel,
+/// reusing the workspace across all (core, P-state) candidates of a mapping
+/// event (and across events). [`CandidateEvaluator::without_fused_kernel`]
+/// falls back to the legacy allocating pipeline — the differential
+/// reference, mirroring `uncached` for the cache.
 #[derive(Debug)]
 pub struct CandidateEvaluator {
     policy: ReductionPolicy,
     /// `None` disables caching (differential testing, baselines).
     cache: Option<RefCell<Vec<Option<CachedPrefix>>>>,
+    /// `None` disables the fused kernel (differential testing, baselines).
+    scratch: Option<RefCell<PmfScratch>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -130,6 +199,7 @@ impl CandidateEvaluator {
         Self {
             policy,
             cache: Some(RefCell::new(Vec::new())),
+            scratch: Some(RefCell::new(PmfScratch::new())),
             hits: Cell::new(0),
             misses: Cell::new(0),
         }
@@ -141,14 +211,32 @@ impl CandidateEvaluator {
         Self {
             policy,
             cache: None,
+            scratch: Some(RefCell::new(PmfScratch::new())),
             hits: Cell::new(0),
             misses: Cell::new(0),
         }
     }
 
+    /// Disables the fused scratch kernel: every convolution goes through the
+    /// legacy allocating `convolve` + `reduce` pipeline instead. Used as the
+    /// differential reference proving the fused path bit-identical.
+    pub fn without_fused_kernel(mut self) -> Self {
+        self.scratch = None;
+        self
+    }
+
     /// The reduction policy in use.
     pub fn policy(&self) -> ReductionPolicy {
         self.policy
+    }
+
+    /// Number of fused-kernel invocations since construction or the last
+    /// [`CandidateEvaluator::reset_cache`]; 0 when the fused kernel is
+    /// disabled.
+    pub fn fused_kernel_calls(&self) -> u64 {
+        self.scratch
+            .as_ref()
+            .map_or(0, |s| s.borrow().kernel_calls())
     }
 
     /// `(hits, misses)` of the prefix cache since construction or the last
@@ -166,8 +254,21 @@ impl CandidateEvaluator {
         if let Some(cache) = &self.cache {
             cache.borrow_mut().clear();
         }
+        if let Some(scratch) = &self.scratch {
+            scratch.borrow_mut().reset_kernel_calls();
+        }
         self.hits.set(0);
         self.misses.set(0);
+    }
+
+    /// Computes a core's prefix through whichever pipeline is enabled.
+    fn compute_prefix(&self, view: &SystemView<'_>, core: usize) -> (Option<Pmf>, Time) {
+        match &self.scratch {
+            Some(scratch) => {
+                prefix_with_validity_fused(view, core, self.policy, &mut scratch.borrow_mut())
+            }
+            None => prefix_with_validity(view, core, self.policy),
+        }
     }
 
     /// Hands `f` the current queue prefix of `core`, served from the cache
@@ -180,7 +281,7 @@ impl CandidateEvaluator {
         f: impl FnOnce(Option<&Pmf>) -> R,
     ) -> R {
         let Some(cache) = &self.cache else {
-            let (prefix, _) = prefix_with_validity(view, core, self.policy);
+            let (prefix, _) = self.compute_prefix(view, core);
             return f(prefix.as_ref());
         };
         let epoch = view.core_epoch(core);
@@ -197,7 +298,7 @@ impl CandidateEvaluator {
             self.hits.set(self.hits.get() + 1);
         } else {
             self.misses.set(self.misses.get() + 1);
-            let (prefix, valid_until) = prefix_with_validity(view, core, self.policy);
+            let (prefix, valid_until) = self.compute_prefix(view, core);
             entries[core] = Some(CachedPrefix {
                 epoch,
                 computed_at: now,
@@ -234,7 +335,14 @@ impl CandidateEvaluator {
         let node = view.cluster().core(core).node;
         let exec_pmf = view.table().pmf(task.type_id, node, pstate);
         match prefix {
-            Some(p) => p.convolve(exec_pmf, self.policy),
+            Some(p) => match &self.scratch {
+                Some(scratch) => {
+                    scratch
+                        .borrow_mut()
+                        .convolve_reduced_into(p, exec_pmf, self.policy)
+                }
+                None => p.convolve(exec_pmf, self.policy),
+            },
             None => exec_pmf.shift(view.time()),
         }
     }
@@ -264,13 +372,38 @@ impl CandidateEvaluator {
         let core_id = cluster.core(core);
         let node = cluster.node_of(core_id);
         let table = view.table();
-        let completion = self.completion_pmf_with_prefix(view, task, core, pstate, prefix);
         let eet = table.eet(task.type_id, core_id.node, pstate);
+        // The fused path never materializes the completion-time pmf: the
+        // convolution lands in the scratch workspace and the two moments are
+        // read straight off the buffer (busy core), or computed shift-free
+        // from the execution-time pmf (idle core). Both are bit-identical to
+        // the legacy allocating pipeline below.
+        let (ect, rho) = match (&self.scratch, prefix) {
+            (Some(scratch), Some(p)) => {
+                let mut scratch = scratch.borrow_mut();
+                let exec_pmf = table.pmf(task.type_id, core_id.node, pstate);
+                let completion = scratch.convolve_reduced(p, exec_pmf, self.policy);
+                (completion.expectation(), completion.prob_le(task.deadline))
+            }
+            (Some(_), None) => {
+                let exec_pmf = table.pmf(task.type_id, core_id.node, pstate);
+                let now = view.time();
+                (
+                    shifted_expectation(exec_pmf, now),
+                    shifted_prob_le(exec_pmf, now, task.deadline),
+                )
+            }
+            (None, _) => {
+                let completion =
+                    self.completion_pmf_with_prefix(view, task, core, pstate, prefix);
+                (completion.expectation(), completion.prob_le(task.deadline))
+            }
+        };
         AssignmentEstimate {
             eet,
-            ect: completion.expectation(),
+            ect,
             eec: eet * node.power.watts(pstate) / node.efficiency,
-            rho: completion.prob_le(task.deadline),
+            rho,
         }
     }
 
@@ -569,6 +702,93 @@ mod tests {
     fn evaluator_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<CandidateEvaluator>();
+    }
+
+    fn busy_cores(s: &Scenario) -> Vec<CoreState> {
+        let mut cores = idle_cores(s);
+        for (i, core) in cores.iter_mut().enumerate() {
+            core.start(ExecutingTask {
+                task: TaskId(i),
+                type_id: TaskTypeId(i % 3),
+                pstate: PState::P1,
+                start: 0.0,
+                deadline: 5000.0,
+            });
+            core.enqueue(QueuedTask {
+                task: TaskId(100 + i),
+                type_id: TaskTypeId((i + 1) % 3),
+                pstate: PState::P2,
+                deadline: 6000.0,
+            });
+        }
+        cores
+    }
+
+    #[test]
+    fn fused_evaluate_all_is_bit_identical_to_legacy() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
+        let task = mk_task(&s, 50.0);
+        for (fused, legacy) in [
+            (
+                CandidateEvaluator::default(),
+                CandidateEvaluator::default().without_fused_kernel(),
+            ),
+            (
+                CandidateEvaluator::uncached(ReductionPolicy::default()),
+                CandidateEvaluator::uncached(ReductionPolicy::default()).without_fused_kernel(),
+            ),
+        ] {
+            assert_eq!(
+                fused.evaluate_all(&view, &task),
+                legacy.evaluate_all(&view, &task)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_completion_pmf_is_bit_identical_to_legacy() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
+        let task = mk_task(&s, 50.0);
+        let fused = CandidateEvaluator::default();
+        let legacy = CandidateEvaluator::default().without_fused_kernel();
+        for pstate in PState::ALL {
+            assert_eq!(
+                fused.completion_pmf(&view, &task, 0, pstate),
+                legacy.completion_pmf(&view, &task, 0, pstate)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_kernel_calls_count_and_reset() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
+        let task = mk_task(&s, 50.0);
+        let ev = CandidateEvaluator::default();
+        assert_eq!(ev.fused_kernel_calls(), 0);
+        let _ = ev.evaluate_all(&view, &task);
+        // Per busy core: one prefix convolution (the queued task) plus one
+        // candidate convolution per P-state.
+        let n = s.cluster().total_cores() as u64;
+        assert_eq!(ev.fused_kernel_calls(), n * (1 + PState::ALL.len() as u64));
+        ev.reset_cache();
+        assert_eq!(ev.fused_kernel_calls(), 0);
+    }
+
+    #[test]
+    fn legacy_evaluator_reports_zero_kernel_calls() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
+        let task = mk_task(&s, 50.0);
+        let ev = CandidateEvaluator::default().without_fused_kernel();
+        let _ = ev.evaluate_all(&view, &task);
+        assert_eq!(ev.fused_kernel_calls(), 0);
     }
 
     #[test]

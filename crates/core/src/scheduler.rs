@@ -90,6 +90,16 @@ impl Scheduler {
         self
     }
 
+    /// Disables the evaluator's fused scratch kernel, routing every
+    /// convolution through the legacy allocating pipeline. The reference
+    /// configuration the fused default is differentially tested against.
+    /// Composes with [`Scheduler::without_prefix_cache`] for the fully
+    /// legacy evaluator.
+    pub fn without_fused_kernel(mut self) -> Self {
+        self.evaluator = self.evaluator.without_fused_kernel();
+        self
+    }
+
     /// Enables recording of `(task, ρ)` pairs — the robustness value of
     /// every chosen assignment — for the model-validation harness (the
     /// `validate` binary compares these predictions against realized
@@ -139,6 +149,10 @@ impl Mapper for Scheduler {
 
     fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
         self.evaluator.prefix_cache_stats()
+    }
+
+    fn fused_kernel_calls(&self) -> u64 {
+        self.evaluator.fused_kernel_calls()
     }
 
     fn assign(&mut self, task: &Task, view: &SystemView<'_>) -> Option<Assignment> {

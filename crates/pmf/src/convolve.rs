@@ -37,8 +37,14 @@ where
     I: IntoIterator<Item = &'a Pmf>,
 {
     let mut iter = pmfs.into_iter();
-    let first = iter.next()?.clone();
-    Some(iter.fold(first, |acc, next| convolve(&acc, next, policy)))
+    let first = iter.next()?;
+    // Fold over a borrowed accumulator so the first pmf is cloned only in
+    // the single-element case (where the clone is the return value).
+    let Some(second) = iter.next() else {
+        return Some(first.clone());
+    };
+    let seed = convolve(first, second, policy);
+    Some(iter.fold(seed, |acc, next| convolve(&acc, next, policy)))
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@ pub mod impulse;
 pub mod pmf;
 pub mod reduce;
 pub mod sample;
+pub mod scratch;
 pub mod seed;
 pub mod truncate;
 
@@ -64,6 +65,7 @@ pub use impulse::Impulse;
 pub use pmf::Pmf;
 pub use reduce::ReductionPolicy;
 pub use sample::{empirical_pmf, SamplePmfConfig};
+pub use scratch::{PmfScratch, PmfView};
 pub use seed::{SeedDerive, Stream};
 
 /// Probability type used throughout the workspace.

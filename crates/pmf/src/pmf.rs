@@ -98,6 +98,14 @@ impl Pmf {
         &self.impulses
     }
 
+    /// Mutable access to the impulse buffer for the crate's in-place
+    /// transforms. Callers must restore the invariants before the pmf is
+    /// observed again.
+    #[inline]
+    pub(crate) fn impulses_mut(&mut self) -> &mut Vec<Impulse> {
+        &mut self.impulses
+    }
+
     /// Number of support points.
     #[inline]
     pub fn len(&self) -> usize {
@@ -211,6 +219,26 @@ impl Pmf {
         Self::from_invariant_impulses(impulses)
     }
 
+    /// In-place variant of [`Pmf::shift`]: moves the support without
+    /// allocating a new impulse vector. The per-impulse arithmetic is
+    /// identical (`value + dt`), so the result is bit-identical to
+    /// `*self = self.shift(dt)`.
+    pub fn shift_in_place(&mut self, dt: Time) {
+        assert!(dt.is_finite(), "shift must be finite");
+        for imp in &mut self.impulses {
+            imp.value += dt;
+        }
+    }
+
+    /// In-place variant of
+    /// [`crate::truncate::truncate_below_or_floor`]: conditions the pmf on
+    /// `X >= cutoff` reusing the existing buffer, degenerating to a
+    /// singleton at `cutoff` when every outcome is in the past.
+    /// Bit-identical to the allocating function.
+    pub fn truncate_below_or_floor_in_place(&mut self, cutoff: Time) {
+        crate::truncate::truncate_below_or_floor_in_place(self, cutoff);
+    }
+
     /// Multiplies every support value by `factor > 0` (e.g. applying a
     /// P-state execution-time multiplier to a base-state pmf).
     pub fn scale_values(&self, factor: f64) -> Self {
@@ -273,7 +301,7 @@ pub(crate) fn sort_and_merge(impulses: &mut Vec<Impulse>) {
 }
 
 #[inline]
-fn values_coincide(a: f64, b: f64) -> bool {
+pub(crate) fn values_coincide(a: f64, b: f64) -> bool {
     let scale = a.abs().max(b.abs()).max(1.0);
     (a - b).abs() <= VALUE_MERGE_EPSILON * scale
 }

@@ -66,6 +66,11 @@ pub fn reduce(pmf: &Pmf, policy: ReductionPolicy) -> Pmf {
     let mut bucket_mass = 0.0;
     let mut bucket_weighted = 0.0;
     let mut filled_buckets = 0usize;
+    // Mass emitted so far. Accumulated exactly as the previous
+    // `out.iter().map(|i| i.prob).sum()` would recompute it (left-to-right
+    // from 0.0), so results stay bit-identical — without the O(n·cap)
+    // rescan per impulse.
+    let mut emitted_mass = 0.0;
     let n = pmf.len();
     for (idx, imp) in pmf.impulses().iter().enumerate() {
         bucket_mass += imp.prob;
@@ -75,10 +80,11 @@ pub fn reduce(pmf: &Pmf, policy: ReductionPolicy) -> Pmf {
         // Close the bucket when it holds its fair share of mass, unless the
         // leftover impulses are needed one-per-bucket to fill the rest.
         let must_flush = remaining_impulses == remaining_buckets && remaining_buckets > 0;
-        let quota_met = bucket_mass + 1e-15 >= target_mass * (filled_buckets + 1) as f64
-            - (out.iter().map(|i| i.prob).sum::<f64>());
+        let quota_met =
+            bucket_mass + 1e-15 >= target_mass * (filled_buckets + 1) as f64 - emitted_mass;
         if (quota_met || must_flush) && remaining_buckets > 0 {
             out.push(Impulse::new(bucket_weighted / bucket_mass, bucket_mass));
+            emitted_mass += bucket_mass;
             filled_buckets += 1;
             bucket_mass = 0.0;
             bucket_weighted = 0.0;

@@ -55,6 +55,31 @@ pub fn truncate_below_or_floor(pmf: &Pmf, cutoff: Time) -> Pmf {
     truncate_below(pmf, cutoff).unwrap_or_else(|_| Pmf::singleton(cutoff))
 }
 
+/// In-place variant of [`truncate_below_or_floor`]: reuses the pmf's
+/// impulse buffer instead of allocating kept/renormalized vectors.
+///
+/// Bit-identical to the allocating version: the support is sorted, so the
+/// kept impulses are exactly the suffix from the first value `>= cutoff`;
+/// the kept mass is summed in the same left-to-right order and each
+/// probability divided by it with the same arithmetic.
+pub fn truncate_below_or_floor_in_place(pmf: &mut Pmf, cutoff: Time) {
+    assert!(cutoff.is_finite(), "cutoff must be finite");
+    let impulses = pmf.impulses_mut();
+    let kept_from = impulses
+        .iter()
+        .position(|i| i.value >= cutoff)
+        .unwrap_or(impulses.len());
+    impulses.drain(..kept_from);
+    if impulses.is_empty() {
+        impulses.push(Impulse::new(cutoff, 1.0));
+        return;
+    }
+    let mass: f64 = impulses.iter().map(|i| i.prob).sum();
+    for imp in impulses.iter_mut() {
+        imp.prob /= mass;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

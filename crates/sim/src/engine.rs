@@ -181,6 +181,7 @@ impl<'a> Simulation<'a> {
             telemetry.prefix_cache_hits = hits;
             telemetry.prefix_cache_misses = misses;
         }
+        telemetry.fused_kernel_calls = mapper.fused_kernel_calls();
         telemetry.power = accountant.power_timeline(cluster);
         let total_energy = accountant.total_energy(cluster);
         let exhausted_at = cfg

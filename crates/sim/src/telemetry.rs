@@ -28,6 +28,10 @@ pub struct Telemetry {
     /// Queue-prefix pmf cache misses reported by the mapper for this trial
     /// (zero for mappers without a cache).
     pub prefix_cache_misses: u64,
+    /// Fused pmf-kernel invocations reported by the mapper for this trial
+    /// (zero for mappers without a fused kernel) — allocation-free-path
+    /// coverage. Diagnostic only: does not affect scheduling decisions.
+    pub fused_kernel_calls: u64,
 }
 
 impl Telemetry {

@@ -41,6 +41,14 @@ pub trait Mapper {
     fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Number of fused pmf-kernel invocations since the last
+    /// [`Mapper::on_trial_start`] — the allocation-free-path coverage
+    /// counter. The engine copies this into [`crate::Telemetry`] after each
+    /// trial. Default: 0 for mappers without a fused kernel.
+    fn fused_kernel_calls(&self) -> u64 {
+        0
+    }
 }
 
 /// A read-only snapshot of the system handed to the mapper at a mapping

@@ -59,6 +59,12 @@ fn main() {
                 telemetry.prefix_cache_hits + telemetry.prefix_cache_misses
             );
         }
+        if telemetry.fused_kernel_calls > 0 {
+            println!(
+                "{:<16} fused kernel: {} allocation-free convolutions this trial",
+                "", telemetry.fused_kernel_calls
+            );
+        }
     }
 
     println!(

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ecds_core::{FilterVariant, LightestLoad, MinimumExpectedCompletionTime, Scheduler};
+use ecds_ext::{run_batch, BatchEdf, BatchMaxRho};
 use ecds_pmf::ReductionPolicy;
 use ecds_sim::{Scenario, Simulation};
 
@@ -86,10 +87,45 @@ fn bench_idle_policy(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the two commitment disciplines through the unified engine:
+/// immediate mode (per-arrival mapper decisions over all candidates) vs
+/// batch mode (policy decisions only when cores free up). Also serves as
+/// the CI smoke coverage of the batch adapter path.
+fn bench_commitment_discipline(c: &mut Criterion) {
+    let scenario = Scenario::small_for_tests(1353);
+    let trace = scenario.trace(0);
+    let budget = scenario.energy_budget().unwrap();
+    let mut group = c.benchmark_group("ablation_commitment_discipline");
+    group.sample_size(10);
+    group.bench_function("immediate_ll_en_rob", |b| {
+        b.iter(|| {
+            let mut sched = Scheduler::new(
+                Box::new(LightestLoad),
+                FilterVariant::EnergyAndRobustness.build(),
+                budget,
+                ReductionPolicy::default(),
+            );
+            black_box(Simulation::new(&scenario, &trace).run(&mut sched).missed())
+        })
+    });
+    group.bench_function("batch_max_rho", |b| {
+        b.iter(|| {
+            black_box(
+                run_batch(&scenario, &trace, &mut BatchMaxRho::default()).missed(),
+            )
+        })
+    });
+    group.bench_function("batch_edf", |b| {
+        b.iter(|| black_box(run_batch(&scenario, &trace, &mut BatchEdf).missed()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     ablation,
     bench_impulse_cap,
     bench_filter_overhead,
-    bench_idle_policy
+    bench_idle_policy,
+    bench_commitment_discipline
 );
 criterion_main!(ablation);

@@ -259,7 +259,7 @@ fn ablate_arrivals(args: &Args) {
     println!("{}", table.render());
 }
 
-/// Literature-baseline zoo ([MaA99] family) plus the deterministic-model
+/// Literature-baseline zoo (\[MaA99\] family) plus the deterministic-model
 /// contrast, all behind the paper's en+rob filters.
 fn ablate_heuristic_zoo(args: &Args) {
     let scenario = scenario_for(args);

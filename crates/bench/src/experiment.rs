@@ -1,7 +1,7 @@
 //! The 4 × 4 heuristic/filter experiment grid.
 
 use ecds_core::{build_scheduler, FilterVariant, HeuristicKind};
-use ecds_sim::{Scenario, Simulation};
+use ecds_sim::{MapperStats, Scenario, Simulation};
 use ecds_stats::BoxStats;
 use ecds_workload::WorkloadTrace;
 
@@ -56,13 +56,9 @@ pub struct CellResult {
     pub energy: Vec<f64>,
     /// Tasks discarded by filters per trial.
     pub discarded: Vec<f64>,
-    /// Prefix-cache hits per trial (0 when the mapper runs uncached).
-    pub cache_hits: Vec<u64>,
-    /// Prefix-cache misses per trial (0 when the mapper runs uncached).
-    pub cache_misses: Vec<u64>,
-    /// Fused pmf-kernel invocations per trial (0 when the mapper runs the
-    /// legacy kernel) — allocation-free-path coverage.
-    pub fused_calls: Vec<u64>,
+    /// Structured mapper instrumentation per trial (prefix-cache counters,
+    /// fused-kernel coverage), trial-indexed like `missed`.
+    pub mapper: Vec<MapperStats>,
 }
 
 impl CellResult {
@@ -84,8 +80,12 @@ impl CellResult {
     /// Prefix-cache hit rate pooled over the cell's trials, `None` if the
     /// mapper performed no cached lookups.
     pub fn cache_hit_rate(&self) -> Option<f64> {
-        let hits: u64 = self.cache_hits.iter().sum();
-        let total = hits + self.cache_misses.iter().sum::<u64>();
+        let hits: u64 = self.mapper.iter().map(MapperStats::prefix_cache_hits).sum();
+        let total: u64 = self
+            .mapper
+            .iter()
+            .map(MapperStats::prefix_cache_lookups)
+            .sum();
         (total > 0).then(|| hits as f64 / total as f64)
     }
 }
@@ -136,14 +136,11 @@ impl ExperimentGrid {
             let trace = &traces[trial_idx];
             let mut scheduler = build_scheduler(kind, variant, scenario, trial_idx as u64);
             let result = Simulation::new(scenario, trace).run(scheduler.as_mut());
-            let telemetry = result.telemetry();
             (
                 result.missed() as f64,
                 result.total_energy(),
                 result.discarded() as f64,
-                telemetry.prefix_cache_hits,
-                telemetry.prefix_cache_misses,
-                telemetry.fused_kernel_calls,
+                result.telemetry().mapper,
             )
         });
 
@@ -158,9 +155,7 @@ impl ExperimentGrid {
                     missed: slice.iter().map(|o| o.0).collect(),
                     energy: slice.iter().map(|o| o.1).collect(),
                     discarded: slice.iter().map(|o| o.2).collect(),
-                    cache_hits: slice.iter().map(|o| o.3).collect(),
-                    cache_misses: slice.iter().map(|o| o.4).collect(),
-                    fused_calls: slice.iter().map(|o| o.5).collect(),
+                    mapper: slice.iter().map(|o| o.3).collect(),
                 }
             })
             .collect();
@@ -268,11 +263,10 @@ mod tests {
     fn grid_records_cache_counters_per_trial() {
         let g = smoke_grid();
         for cell in &g.cells {
-            assert_eq!(cell.cache_hits.len(), 3);
-            assert_eq!(cell.cache_misses.len(), 3);
+            assert_eq!(cell.mapper.len(), 3);
             // Every trial maps at least one task, and the first prefix
             // lookup on a core is always a miss.
-            assert!(cell.cache_misses.iter().all(|&m| m > 0));
+            assert!(cell.mapper.iter().all(|m| m.prefix_cache_misses() > 0));
             let rate = cell.cache_hit_rate().expect("lookups happened");
             assert!((0.0..=1.0).contains(&rate));
         }
@@ -285,10 +279,10 @@ mod tests {
     fn grid_records_fused_kernel_calls_per_trial() {
         let g = smoke_grid();
         for cell in &g.cells {
-            assert_eq!(cell.fused_calls.len(), 3);
+            assert_eq!(cell.mapper.len(), 3);
             // Busy cores appear in every trial, so every trial runs real
             // convolutions through the fused kernel.
-            assert!(cell.fused_calls.iter().all(|&c| c > 0));
+            assert!(cell.mapper.iter().all(|m| m.fused_kernel_calls > 0));
         }
     }
 

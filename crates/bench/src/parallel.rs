@@ -6,6 +6,7 @@
 //! dependency policy in DESIGN.md §6). Results arrive in index order
 //! regardless of scheduling, so output is deterministic.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -14,6 +15,14 @@ use std::sync::Mutex;
 ///
 /// `work` must be safe to call concurrently from multiple threads (`Sync`);
 /// each invocation gets a distinct index exactly once.
+///
+/// # Panics
+///
+/// If any `work(idx)` panics, the first panic (by observation order) is
+/// re-raised on the caller's thread with its original payload once every
+/// worker has stopped — not the scope's generic "a scoped thread panicked"
+/// message. Workers drain quickly after a panic: the work index is pushed
+/// past `count` so remaining items are skipped.
 pub fn run_parallel<T, F>(count: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
@@ -25,6 +34,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let workers = threads.min(count);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -35,7 +45,19 @@ where
                     if idx >= count {
                         break;
                     }
-                    local.push((idx, work(idx)));
+                    match catch_unwind(AssertUnwindSafe(|| work(idx))) {
+                        Ok(value) => local.push((idx, value)),
+                        Err(payload) => {
+                            let mut slot = panic.lock().expect("panic slot");
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            // Park the index past the end so every worker
+                            // stops claiming new items.
+                            next.store(count, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                 }
                 results
                     .lock()
@@ -44,6 +66,9 @@ where
             });
         }
     });
+    if let Some(payload) = panic.into_inner().expect("panic slot") {
+        resume_unwind(payload);
+    }
     let mut collected = results.into_inner().expect("no poisoned lock after scope");
     collected.sort_by_key(|(idx, _)| *idx);
     debug_assert_eq!(collected.len(), count);
@@ -102,5 +127,40 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_original_payload() {
+        // A panicking item must neither hang the map nor surface as the
+        // scope's generic panic: the caller sees the worker's own payload.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_parallel(64, 4, |i| {
+                if i == 17 {
+                    panic!("trial 17 exploded");
+                }
+                i
+            })
+        }))
+        .expect_err("the panic must propagate");
+        let message = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .expect("payload must be the worker's message");
+        assert_eq!(message, "trial 17 exploded");
+    }
+
+    #[test]
+    fn first_panic_wins_when_several_items_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_parallel(8, 2, |i| -> usize { panic!("boom {i}") })
+        }))
+        .expect_err("the panic must propagate");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted payload");
+        assert!(message.starts_with("boom "), "got: {message}");
     }
 }

@@ -130,9 +130,9 @@ fn grid_window(grid: &ExperimentGrid) -> f64 {
 /// One-line summary of the mapper's queue-prefix cache over the whole grid:
 /// pooled hit rate plus the per-cell range (DESIGN.md §7).
 pub fn render_cache_summary(grid: &ExperimentGrid) -> String {
-    let hits: u64 = grid.cells.iter().flat_map(|c| &c.cache_hits).sum();
-    let misses: u64 = grid.cells.iter().flat_map(|c| &c.cache_misses).sum();
-    let total = hits + misses;
+    let stats = grid.cells.iter().flat_map(|c| &c.mapper);
+    let hits: u64 = stats.clone().map(|m| m.prefix_cache_hits()).sum();
+    let total: u64 = stats.map(|m| m.prefix_cache_lookups()).sum();
     if total == 0 {
         return "Prefix cache: no cached lookups recorded\n".to_string();
     }
@@ -156,11 +156,19 @@ pub fn render_cache_summary(grid: &ExperimentGrid) -> String {
 /// invocations plus the per-trial range — the allocation-free-path baseline
 /// future perf work measures against (DESIGN.md §7).
 pub fn render_kernel_summary(grid: &ExperimentGrid) -> String {
-    let total: u64 = grid.cells.iter().flat_map(|c| &c.fused_calls).sum();
+    let total: u64 = grid
+        .cells
+        .iter()
+        .flat_map(|c| &c.mapper)
+        .map(|m| m.fused_kernel_calls)
+        .sum();
     if total == 0 {
         return "Fused kernel: no invocations recorded (legacy pipeline)\n".to_string();
     }
-    let per_trial = grid.cells.iter().flat_map(|c| c.fused_calls.iter().copied());
+    let per_trial = grid
+        .cells
+        .iter()
+        .flat_map(|c| c.mapper.iter().map(|m| m.fused_kernel_calls));
     let lo = per_trial.clone().min().unwrap_or(0);
     let hi = per_trial.max().unwrap_or(0);
     format!(

@@ -1,6 +1,6 @@
 //! Filtering mechanisms (paper Sec. V-F).
 //!
-//! A filter "restrict[s] the set of feasible assignments a heuristic can
+//! A filter "restrict\[s\] the set of feasible assignments a heuristic can
 //! consider", adding energy-awareness and/or robustness-awareness to *any*
 //! heuristic. Filters compose: the scheduler applies them in order, and if
 //! the chain eliminates every candidate the task is discarded. The paper's

@@ -2,11 +2,11 @@
 //! stochastic machinery (contribution (a)).
 //!
 //! Sec. IV-B motivates pmf-based completion times against "a deterministic
-//! (i.e., non-probabilistic) model [where] we calculate the completion time
+//! (i.e., non-probabilistic) model \[where\] we calculate the completion time
 //! as the sum of the estimated execution times". This heuristic *is* that
 //! deterministic model: it ranks assignments by scalar mean arithmetic
 //! only — no truncation/renormalization of the executing task, no
-//! convolution. Comparing it against [`MinimumExpectedCompletionTime`]
+//! convolution. Comparing it against [`MinimumExpectedCompletionTime`](crate::MinimumExpectedCompletionTime)
 //! (whose ECT is the expectation of the true completion pmf) isolates the
 //! value of the stochastic model in allocation decisions.
 

@@ -1,4 +1,4 @@
-//! K-Percent Best — the [MaA99] compromise between MET's heterogeneity
+//! K-Percent Best — the \[MaA99\] compromise between MET's heterogeneity
 //! exploitation and MCT's load awareness.
 
 use ecds_sim::SystemView;
@@ -9,7 +9,7 @@ use crate::heuristics::Heuristic;
 
 /// **KPB**: restrict attention to the `k`% of candidates with the best
 /// (smallest) expected execution time for this task, then choose the
-/// minimum expected completion time among them ([MaA99]). `k = 100`
+/// minimum expected completion time among them (\[MaA99\]). `k = 100`
 /// degenerates to MECT; small `k` approaches MET.
 #[derive(Debug, Clone, Copy)]
 pub struct KPercentBest {
@@ -33,7 +33,7 @@ impl KPercentBest {
 }
 
 impl Default for KPercentBest {
-    /// [MaA99]'s experiments found moderate k best; default to 20%.
+    /// \[MaA99\]'s experiments found moderate k best; default to 20%.
     fn default() -> Self {
         Self::new(20.0)
     }

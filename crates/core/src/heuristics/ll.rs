@@ -1,5 +1,5 @@
 //! The Lightest Load heuristic — the paper's new heuristic (Sec. V-D,
-//! inspired by [BaM09]).
+//! inspired by \[BaM09\]).
 
 use ecds_sim::SystemView;
 use ecds_workload::Task;

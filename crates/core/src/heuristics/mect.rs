@@ -1,5 +1,5 @@
 //! The Minimum Expected Completion Time heuristic (paper Sec. V-C, after
-//! [MaA99]'s MCT adapted to stochastic completion times).
+//! \[MaA99\]'s MCT adapted to stochastic completion times).
 
 use ecds_sim::SystemView;
 use ecds_workload::Task;

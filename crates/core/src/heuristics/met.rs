@@ -1,4 +1,4 @@
-//! Minimum Execution Time — the second classic [MaA99] baseline.
+//! Minimum Execution Time — the second classic \[MaA99\] baseline.
 
 use ecds_sim::SystemView;
 use ecds_workload::Task;
@@ -7,7 +7,7 @@ use crate::candidate::EvaluatedCandidate;
 use crate::heuristics::{argmin_by_key, Heuristic};
 
 /// **MET**: assign the task to the (core, P-state) pair with the smallest
-/// expected *execution* time, ignoring queue state entirely ([MaA99]).
+/// expected *execution* time, ignoring queue state entirely (\[MaA99\]).
 /// MET exploits machine heterogeneity perfectly but load-balances terribly:
 /// every instance of a task type piles onto its best node. Included as a
 /// literature baseline for the ablation harness.

@@ -1,5 +1,5 @@
 //! Opportunistic Load Balancing — a classic immediate-mode baseline from
-//! the [MaA99] family the paper adapts its heuristics from.
+//! the \[MaA99\] family the paper adapts its heuristics from.
 
 use ecds_sim::SystemView;
 use ecds_workload::Task;
@@ -8,7 +8,7 @@ use crate::candidate::EvaluatedCandidate;
 use crate::heuristics::{argmin_by_key, Heuristic};
 
 /// **OLB**: assign the task to the core that becomes ready soonest,
-/// ignoring the task's execution time entirely ([MaA99]). Ready time is
+/// ignoring the task's execution time entirely (\[MaA99\]). Ready time is
 /// recovered from the evaluated candidates as `ECT − EET` (the expected
 /// completion of the core's pending queue). Ties break by candidate order,
 /// which lands on `P0` — like SQ and MECT, OLB is energy-oblivious and

@@ -1,4 +1,4 @@
-//! The Shortest Queue heuristic (paper Sec. V-B, after [SmC09]).
+//! The Shortest Queue heuristic (paper Sec. V-B, after \[SmC09\]).
 
 use ecds_sim::SystemView;
 use ecds_workload::Task;

@@ -1,7 +1,7 @@
 //! The scheduler: evaluate → filter → choose, plus the energy ledger.
 
 use ecds_pmf::ReductionPolicy;
-use ecds_sim::{Assignment, Mapper, SystemView};
+use ecds_sim::{Assignment, Mapper, MapperStats, SystemView};
 use ecds_workload::Task;
 
 use crate::estimate::CandidateEvaluator;
@@ -147,12 +147,11 @@ impl Mapper for Scheduler {
         self.evaluator.reset_cache();
     }
 
-    fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
-        self.evaluator.prefix_cache_stats()
-    }
-
-    fn fused_kernel_calls(&self) -> u64 {
-        self.evaluator.fused_kernel_calls()
+    fn stats(&self) -> MapperStats {
+        MapperStats {
+            prefix_cache: self.evaluator.prefix_cache_stats(),
+            fused_kernel_calls: self.evaluator.fused_kernel_calls(),
+        }
     }
 
     fn assign(&mut self, task: &Task, view: &SystemView<'_>) -> Option<Assignment> {

@@ -73,8 +73,9 @@ pub mod prelude {
     };
     pub use ecds_pmf::{Impulse, Pmf, ReductionPolicy, SeedDerive, Stream};
     pub use ecds_sim::{
-        Assignment, EnergyBreakdown, Mapper, Scenario, SimConfig, Simulation, SystemView,
-        TaskOutcome, Telemetry, TrialResult,
+        Assignment, Discipline, EnergyBreakdown, EngineCtx, ImmediateDiscipline, Mapper,
+        MapperStats, Scenario, SimConfig, Simulation, SystemView, TaskOutcome, Telemetry,
+        TrialResult,
     };
     pub use ecds_stats::{render_boxplots, BoxStats, MarkdownTable};
     pub use ecds_workload::{

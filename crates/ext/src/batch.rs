@@ -1,6 +1,6 @@
 //! Batch-mode mapping (paper future work: "a system with the ability to
 //! cancel and/or **reschedule** tasks"; compare the batch-mode predecessor
-//! [SmA10] the paper builds its robustness model on).
+//! \[SmA10\] the paper builds its robustness model on).
 //!
 //! The paper's resource manager commits a task to a core *and a position in
 //! that core's FIFO queue* the instant it arrives. Batch mode relaxes this:
@@ -11,15 +11,19 @@
 //! idle, so the physical model is unchanged; only the commitment discipline
 //! differs.
 //!
-//! The engine here mirrors `ecds_sim::Simulation` (events, transition logs,
-//! Eq. 1–2 energy, exhaustion cutoff) but drives a [`BatchPolicy`] instead
-//! of a [`ecds_sim::Mapper`].
+//! There is no separate batch engine: [`BatchDiscipline`] plugs a
+//! [`BatchPolicy`] into the unified `ecds_sim` event core
+//! ([`ecds_sim::Simulation::run_with`]), inheriting its deterministic event
+//! ordering (completions before arrivals at equal times, then insertion
+//! order), Eq. 1–2 energy accounting, exhaustion cutoff, telemetry, and the
+//! `cancel_overdue` extension (overdue pending tasks are dropped from the
+//! bag instead of dispatched). [`run_batch`] is a thin adapter over that
+//! engine.
 
 use ecds_cluster::{Cluster, PState};
 use ecds_pmf::{truncate::truncate_below_or_floor, Pmf, Time};
-use ecds_sim::{EnergyAccountant, Scenario, TaskOutcome, Telemetry, TrialResult};
-use ecds_workload::{ExecTable, Task, WorkloadTrace};
-use std::collections::BinaryHeap;
+use ecds_sim::{Discipline, EngineCtx, Scenario, Simulation, TrialResult};
+use ecds_workload::{ExecTable, Task, TaskId, WorkloadTrace};
 
 /// A decision made by a batch policy: start pending task `task_index` (an
 /// index into the pending bag it was shown) on `core` in `pstate`.
@@ -59,7 +63,7 @@ pub trait BatchPolicy {
     fn dispatch(&mut self, pending: &[Task], view: &BatchView<'_>) -> Vec<Dispatch>;
 }
 
-/// Greedy maximum-robustness batch policy, after [SmA10]'s two-phase
+/// Greedy maximum-robustness batch policy, after \[SmA10\]'s two-phase
 /// greedy: repeatedly pick the (pending task, idle core, P-state) triple
 /// with the best score until cores or tasks run out. The score prefers the
 /// highest on-time probability ρ, breaking near-ties toward lower expected
@@ -185,116 +189,100 @@ impl BatchPolicy for BatchEdf {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
-    Arrival(usize),
-    Completion { core: usize, task: usize },
+/// The batch commitment discipline for the unified engine: a central
+/// pending bag, filled at arrivals and drained by the wrapped
+/// [`BatchPolicy`] at every mapping event (i.e. after every engine event),
+/// but only onto idle cores. Maintains the Sec. V-F style remaining-energy
+/// ledger the policy sees in its [`BatchView`].
+pub struct BatchDiscipline<'p> {
+    policy: &'p mut dyn BatchPolicy,
+    /// Task ids waiting to be committed, in bag order (the order the
+    /// policy observes; starts are `swap_remove`d).
+    pending: Vec<TaskId>,
+    /// Budget minus the expected energy consumption of every dispatch.
+    remaining: f64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct QueuedEv {
-    time: Time,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Eq for QueuedEv {}
-impl Ord for QueuedEv {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("finite")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for QueuedEv {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl std::fmt::Debug for BatchDiscipline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchDiscipline")
+            .field("policy", &self.policy.name())
+            .field("pending", &self.pending)
+            .field("remaining", &self.remaining)
+            .finish()
     }
 }
 
-/// Runs one trial in batch mode and reports a [`TrialResult`] comparable
-/// with the immediate-mode engine's.
-pub fn run_batch(
-    scenario: &Scenario,
-    trace: &WorkloadTrace,
-    policy: &mut dyn BatchPolicy,
-) -> TrialResult {
-    let cluster = scenario.cluster();
-    let table = scenario.table();
-    let cfg = scenario.sim_config();
-    let tasks = trace.tasks();
-    let num_cores = cluster.total_cores();
-
-    let mut accountant = EnergyAccountant::new(cluster, 0.0, cfg.initial_pstate);
-    let mut busy: Vec<bool> = vec![false; num_cores];
-    let mut pending: Vec<usize> = Vec::new();
-    let mut remaining = scenario.energy_budget().unwrap_or(f64::INFINITY);
-    let mut telemetry = Telemetry::new();
-
-    let mut outcomes: Vec<TaskOutcome> = tasks
-        .iter()
-        .map(|t| TaskOutcome {
-            task: t.id,
-            type_id: t.type_id,
-            arrival: t.arrival,
-            deadline: t.deadline,
-            assignment: None,
-            start: None,
-            completion: None,
-            cancelled: false,
-        })
-        .collect();
-
-    let mut heap: BinaryHeap<QueuedEv> = BinaryHeap::new();
-    let mut seq = 0u64;
-    for (i, task) in tasks.iter().enumerate() {
-        heap.push(QueuedEv {
-            time: task.arrival,
-            seq,
-            ev: Ev::Arrival(i),
-        });
-        seq += 1;
+impl<'p> BatchDiscipline<'p> {
+    /// Wraps a batch policy for [`ecds_sim::Simulation::run_with`].
+    pub fn new(policy: &'p mut dyn BatchPolicy) -> Self {
+        Self {
+            policy,
+            pending: Vec::new(),
+            remaining: f64::INFINITY,
+        }
     }
 
-    let mut end_time: Time = 0.0;
-    while let Some(event) = heap.pop() {
-        end_time = end_time.max(event.time);
-        match event.ev {
-            Ev::Arrival(i) => {
-                pending.push(i);
-                telemetry.sample(
-                    event.time,
-                    pending.len() as f64 / num_cores as f64,
-                    busy.iter().filter(|b| **b).count(),
-                );
-            }
-            Ev::Completion { core, task } => {
-                outcomes[task].completion = Some(event.time);
-                busy[core] = false;
-                if let Some(idle_state) = cfg.idle_downshift {
-                    accountant.record(core, event.time, idle_state);
+    /// The current remaining-energy ledger value.
+    pub fn remaining_energy(&self) -> f64 {
+        self.remaining
+    }
+}
+
+impl Discipline for BatchDiscipline<'_> {
+    fn on_trial_start(&mut self, ctx: &mut EngineCtx<'_>) {
+        self.pending.clear();
+        self.remaining = ctx.config().budget_or_infinite();
+    }
+
+    fn on_arrival(&mut self, ctx: &mut EngineCtx<'_>, task: TaskId) {
+        self.pending.push(task);
+        let depth = self.pending.len() as f64 / ctx.num_cores() as f64;
+        ctx.sample_telemetry(depth);
+    }
+
+    fn on_completion(&mut self, ctx: &mut EngineCtx<'_>, core: usize, _task: TaskId) {
+        let next = ctx.complete_core(core);
+        debug_assert!(next.is_none(), "batch mode never fills core FIFOs");
+        ctx.park_idle(core);
+    }
+
+    fn after_event(&mut self, ctx: &mut EngineCtx<'_>) {
+        // Inherited extension: drop pending tasks that already missed their
+        // deadlines instead of burning energy on them (the batch analogue
+        // of the immediate engine's queued-task cancellation).
+        if ctx.config().cancel_overdue {
+            let now = ctx.now();
+            let mut i = 0;
+            while i < self.pending.len() {
+                let task = ctx.task(self.pending[i]);
+                if now > task.deadline {
+                    ctx.mark_cancelled(task.id);
+                    self.pending.swap_remove(i);
+                } else {
+                    i += 1;
                 }
             }
         }
         // Mapping event: let the policy fill idle cores from the bag.
-        let idle: Vec<usize> = (0..num_cores).filter(|&c| !busy[c]).collect();
-        if idle.is_empty() || pending.is_empty() {
-            continue;
+        let idle: Vec<usize> = (0..ctx.num_cores())
+            .filter(|&c| ctx.core_states()[c].is_idle())
+            .collect();
+        if idle.is_empty() || self.pending.is_empty() {
+            return;
         }
-        let bag: Vec<Task> = pending.iter().map(|&i| tasks[i]).collect();
+        let bag: Vec<Task> = self.pending.iter().map(|&id| *ctx.task(id)).collect();
         let view = BatchView {
-            cluster,
-            table,
-            now: event.time,
+            cluster: ctx.cluster(),
+            table: ctx.table(),
+            now: ctx.now(),
             idle_cores: &idle,
-            remaining_energy: remaining,
+            remaining_energy: self.remaining,
         };
-        let dispatches = policy.dispatch(&bag, &view);
+        let dispatches = self.policy.dispatch(&bag, &view);
         // Validate and apply.
         let mut used_tasks = vec![false; bag.len()];
-        let mut used_cores = vec![false; num_cores];
+        let mut used_cores = vec![false; ctx.num_cores()];
         let mut started: Vec<usize> = Vec::new();
         for d in dispatches {
             assert!(d.task_index < bag.len(), "dispatch of unknown task");
@@ -303,50 +291,35 @@ pub fn run_batch(
             assert!(!used_cores[d.core], "core dispatched twice");
             used_tasks[d.task_index] = true;
             used_cores[d.core] = true;
-            let global = pending[d.task_index];
-            let task = &tasks[global];
-            let node_idx = cluster.core(d.core).node;
-            let node = cluster.node(node_idx);
-            accountant.record(d.core, event.time, d.pstate);
-            busy[d.core] = true;
-            outcomes[global].assignment = Some((d.core, d.pstate));
-            outcomes[global].start = Some(event.time);
-            remaining -=
-                table.eet(task.type_id, node_idx, d.pstate) * node.power.watts(d.pstate)
-                    / node.efficiency;
-            let actual = table.actual_time(task.type_id, node_idx, d.pstate, task.quantile);
-            heap.push(QueuedEv {
-                time: event.time + actual,
-                seq,
-                ev: Ev::Completion {
-                    core: d.core,
-                    task: global,
-                },
-            });
-            seq += 1;
+            let task = self.pending[d.task_index];
+            let task_data = ctx.task(task);
+            let node_idx = ctx.cluster().core(d.core).node;
+            let node = ctx.cluster().node(node_idx);
+            ctx.record_assignment(task, d.core, d.pstate);
+            self.remaining -= ctx.table().eet(task_data.type_id, node_idx, d.pstate)
+                * node.power.watts(d.pstate)
+                / node.efficiency;
+            ctx.start_task(d.core, task, d.pstate);
             started.push(d.task_index);
         }
         // Remove started tasks from the bag (descending order keeps
         // indices valid).
         started.sort_unstable_by(|a, b| b.cmp(a));
         for idx in started {
-            pending.swap_remove(idx);
+            self.pending.swap_remove(idx);
         }
     }
+}
 
-    accountant.finalize(end_time);
-    telemetry.power = accountant.power_timeline(cluster);
-    let total_energy = accountant.total_energy(cluster);
-    let exhausted_at = cfg
-        .energy_budget
-        .and_then(|b| accountant.exhaustion_time(cluster, b));
-    TrialResult::new_for_alternative_engines(
-        outcomes,
-        total_energy,
-        exhausted_at,
-        end_time,
-        telemetry,
-    )
+/// Runs one trial in batch mode and reports a [`TrialResult`] comparable
+/// with the immediate-mode engine's — a thin adapter wrapping `policy` in
+/// a [`BatchDiscipline`] and handing it to the unified engine.
+pub fn run_batch(
+    scenario: &Scenario,
+    trace: &WorkloadTrace,
+    policy: &mut dyn BatchPolicy,
+) -> TrialResult {
+    Simulation::new(scenario, trace).run_with(&mut BatchDiscipline::new(policy))
 }
 
 /// The completion-time pmf of a batch-dispatched task (exposed for tests
@@ -480,5 +453,44 @@ mod tests {
         let task = trace.tasks()[0];
         let pmf = batch_completion_pmf(s.table(), &task, 0, PState::P1, 500.0);
         assert!(pmf.min_value() >= 500.0);
+    }
+
+    #[test]
+    fn batch_inherits_cancel_overdue_from_the_engine() {
+        let s = scenario();
+        let cancelling = s.with_sim_config({
+            let mut c = *s.sim_config();
+            c.cancel_overdue = true;
+            c
+        });
+        let trace = s.trace(0);
+        let baseline = run_batch(&s, &trace, &mut BatchEdf);
+        let r = run_batch(&cancelling, &trace, &mut BatchEdf);
+        assert_eq!(baseline.cancelled(), 0, "default stays paper-faithful");
+        for o in r.outcomes() {
+            if o.cancelled {
+                // Cancelled while pending: never assigned, never started.
+                assert!(o.assignment.is_none());
+                assert!(o.start.is_none());
+                assert!(o.completion.is_none());
+            } else if let Some(start) = o.start {
+                // Everything that ran was dispatched by its deadline.
+                assert!(start <= o.deadline + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_telemetry_tracks_bag_depth_and_power() {
+        let s = scenario();
+        let trace = s.trace(0);
+        let r = run_batch(&s, &trace, &mut BatchMaxRho::default());
+        let t = r.telemetry();
+        // One sample per arrival, inherited from the unified engine.
+        assert_eq!(t.queue_depth.len(), trace.len());
+        assert_eq!(t.busy_cores.len(), trace.len());
+        assert!(!t.power.is_empty());
+        // Batch policies carry no mapper-side instrumentation.
+        assert_eq!(t.mapper, ecds_sim::MapperStats::default());
     }
 }

@@ -13,7 +13,7 @@
 //!   `cancel_overdue` mode (drop tasks that already missed instead of
 //!   running them).
 //! * **Batch-mode rescheduling** ([`batch`]) — the "reschedule" half of the
-//!   same future-work item, after the paper's [SmA10] lineage: tasks wait
+//!   same future-work item, after the paper's \[SmA10\] lineage: tasks wait
 //!   in a central bag and are committed only when a core frees up, so every
 //!   mapping event re-decides over everything not yet started.
 //! * **Stochastic power** ([`power_pmf`]) — "use full probability
@@ -35,7 +35,9 @@ pub mod power_pmf;
 pub mod priority;
 
 pub use arrivals2::{multi_burst, ramp, sinusoidal};
-pub use batch::{run_batch, BatchEdf, BatchMaxRho, BatchPolicy, BatchView, Dispatch};
+pub use batch::{
+    run_batch, BatchDiscipline, BatchEdf, BatchMaxRho, BatchPolicy, BatchView, Dispatch,
+};
 pub use cancel::CancellationReport;
 pub use power_pmf::{EnergyUncertainty, StochasticPowerModel};
 pub use priority::{assign_priorities, PriorityClass, PriorityEnergyFilter, PriorityReport};

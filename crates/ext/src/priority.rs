@@ -1,4 +1,4 @@
-//! Task priorities (paper future work; compare [KiS08], which completes
+//! Task priorities (paper future work; compare \[KiS08\], which completes
 //! "as many high-priority tasks as possible, followed by as many
 //! low-priority tasks as possible").
 //!

@@ -1,6 +1,6 @@
 //! Continuous samplers implemented over `rand`'s uniform primitives.
 //!
-//! The CVB heterogeneity generator ([AlS00]) needs gamma variates, the
+//! The CVB heterogeneity generator (\[AlS00\]) needs gamma variates, the
 //! Poisson arrival process needs exponential inter-arrival gaps, and the
 //! cluster generator needs bounded uniforms. They are implemented here —
 //! gamma via the Marsaglia–Tsang (2000) squeeze method — so that the only
@@ -32,7 +32,7 @@ impl Gamma {
     /// The CVB parameterization: a gamma with the given `mean` and
     /// coefficient of variation `cv` (`alpha = 1/cv²`, `theta = mean·cv²`).
     ///
-    /// [AlS00] characterizes task and machine heterogeneity exactly this
+    /// \[AlS00\] characterizes task and machine heterogeneity exactly this
     /// way: means plus CVs, realized as gamma variates.
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
         assert!(mean.is_finite() && mean > 0.0, "mean must be positive");

@@ -29,7 +29,7 @@
 //!    it runs in `O(n·m·log n)` without allocating.
 //! 2. **Summation order.** Coincident-value merging accumulates
 //!    probabilities in emission order, exactly as
-//!    [`crate::pmf::sort_and_merge`] does; the reduction pass replays
+//!    `sort_and_merge` (in `crate::pmf`) does; the reduction pass replays
 //!    [`crate::reduce::reduce`]'s bucket walk (including its running
 //!    emitted-mass accumulator) operation for operation.
 //! 3. **Post-reduction normalization.** `reduce` stable-sorts and

@@ -1,0 +1,389 @@
+//! The commitment-discipline seam of the unified engine.
+//!
+//! One event-driven core ([`Simulation::run_with`](crate::Simulation::run_with))
+//! owns everything both simulation modes share — the deterministic
+//! [`EventQueue`], per-core run state, the
+//! Eq. 1–2 energy accountant, per-task outcomes, telemetry, and the
+//! exhaustion cutoff. What *differs* between modes is only **when mapped
+//! work is committed to a core**, and that policy is factored into the
+//! [`Discipline`] trait:
+//!
+//! * [`ImmediateDiscipline`] — the paper's model: every task is committed
+//!   to a core FIFO (and a P-state) at its arrival instant by a
+//!   [`Mapper`], and never reassigned.
+//! * `BatchDiscipline` (in `ecds-ext`) — the future-work relaxation:
+//!   arriving tasks wait in a central pending bag and are committed only
+//!   when a core is actually free.
+//!
+//! Disciplines never touch engine state directly; they act through
+//! [`EngineCtx`], whose mutators encapsulate the shared mechanics (start a
+//! task = record the P-state transition, mark the core busy, log the start,
+//! schedule the completion event). This is what makes engine fixes land
+//! once for every mode.
+
+use ecds_cluster::Cluster;
+use ecds_pmf::Time;
+use ecds_workload::{ExecTable, Task, TaskId};
+
+use crate::config::SimConfig;
+use crate::energy::EnergyAccountant;
+use crate::event::{EventKind, EventQueue};
+use crate::result::TaskOutcome;
+use crate::state::{CoreState, ExecutingTask, QueuedTask};
+use crate::telemetry::{MapperStats, Telemetry};
+use crate::view::{Mapper, SystemView};
+
+/// A commitment discipline: the pluggable half of the unified engine.
+///
+/// The engine pops events off the deterministic queue (completions before
+/// arrivals at equal times, then insertion order) and calls the matching
+/// hook; the discipline decides what work to commit where, using
+/// [`EngineCtx`]'s mutators. Bookkeeping that is identical across
+/// disciplines (recording completion outcomes, bumping `arrived`, energy
+/// finalization) stays in the engine.
+pub trait Discipline {
+    /// Invoked once before the first event of a trial, after the engine
+    /// state is initialized — reset ledgers and per-trial state here.
+    fn on_trial_start(&mut self, _ctx: &mut EngineCtx<'_>) {}
+
+    /// A task arrived at `ctx.now()`. The engine has already counted it in
+    /// [`EngineCtx::arrived`].
+    fn on_arrival(&mut self, ctx: &mut EngineCtx<'_>, task: TaskId);
+
+    /// `task` finished on `core` at `ctx.now()`. The engine has already
+    /// recorded the completion outcome; the discipline must release the
+    /// core (via [`EngineCtx::complete_core`]) and decide what runs next.
+    fn on_completion(&mut self, ctx: &mut EngineCtx<'_>, core: usize, task: TaskId);
+
+    /// Invoked after *every* event (arrival or completion) — the batch
+    /// mapping event hook. Default: no-op (immediate mode commits inside
+    /// [`Discipline::on_arrival`]).
+    fn after_event(&mut self, _ctx: &mut EngineCtx<'_>) {}
+
+    /// Structured instrumentation for the finished trial, copied into
+    /// [`Telemetry`] by the engine. Default: all zeros.
+    fn stats(&self) -> MapperStats {
+        MapperStats::default()
+    }
+}
+
+/// Mutable engine state handed to a [`Discipline`] at each hook.
+///
+/// Accessors expose the shared world (cluster, pmf table, core states,
+/// clock, outcomes); mutators encapsulate the mechanics both modes share,
+/// keeping the energy accounting and event scheduling in exactly one
+/// place.
+#[derive(Debug)]
+pub struct EngineCtx<'a> {
+    pub(crate) cluster: &'a Cluster,
+    pub(crate) table: &'a ExecTable,
+    pub(crate) cfg: &'a SimConfig,
+    pub(crate) tasks: &'a [Task],
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) accountant: EnergyAccountant,
+    pub(crate) outcomes: Vec<TaskOutcome>,
+    pub(crate) queue: EventQueue,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) arrived: usize,
+    pub(crate) now: Time,
+}
+
+impl<'a> EngineCtx<'a> {
+    /// Builds the initial engine state for one trial: idle cores in the
+    /// configured initial P-state, blank outcomes, and every arrival
+    /// pre-scheduled in task-id order.
+    pub(crate) fn new(
+        cluster: &'a Cluster,
+        table: &'a ExecTable,
+        cfg: &'a SimConfig,
+        tasks: &'a [Task],
+    ) -> Self {
+        let outcomes = tasks
+            .iter()
+            .map(|t| TaskOutcome {
+                task: t.id,
+                type_id: t.type_id,
+                arrival: t.arrival,
+                deadline: t.deadline,
+                assignment: None,
+                start: None,
+                completion: None,
+                cancelled: false,
+            })
+            .collect();
+        let mut queue = EventQueue::new();
+        for task in tasks {
+            queue.push(task.arrival, EventKind::Arrival(task.id));
+        }
+        Self {
+            cluster,
+            table,
+            cfg,
+            tasks,
+            cores: vec![CoreState::new(); cluster.total_cores()],
+            accountant: EnergyAccountant::new(cluster, 0.0, cfg.initial_pstate),
+            outcomes,
+            queue,
+            telemetry: Telemetry::new(),
+            arrived: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time (the time of the event being processed).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The cluster model.
+    #[inline]
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// The execution-time pmf table.
+    #[inline]
+    pub fn table(&self) -> &'a ExecTable {
+        self.table
+    }
+
+    /// The simulator configuration (budget, idle downshift, cancellation).
+    #[inline]
+    pub fn config(&self) -> &'a SimConfig {
+        self.cfg
+    }
+
+    /// The trial's tasks, id-ordered.
+    #[inline]
+    pub fn tasks(&self) -> &'a [Task] {
+        self.tasks
+    }
+
+    /// One task by id.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &'a Task {
+        &self.tasks[id.0]
+    }
+
+    /// Tasks that have arrived so far, including the one being processed.
+    #[inline]
+    pub fn arrived(&self) -> usize {
+        self.arrived
+    }
+
+    /// The trial window size (total tasks).
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total cores in the cluster.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// All core run states, flat-indexed.
+    #[inline]
+    pub fn core_states(&self) -> &[CoreState] {
+        &self.cores
+    }
+
+    /// Per-task outcomes accumulated so far.
+    #[inline]
+    pub fn outcomes(&self) -> &[TaskOutcome] {
+        &self.outcomes
+    }
+
+    /// Instantaneous average queue depth over all cores (executing tasks
+    /// count) — what immediate mode samples into telemetry.
+    pub fn avg_queue_depth(&self) -> f64 {
+        let total: usize = self.cores.iter().map(CoreState::depth).sum();
+        total as f64 / self.cores.len() as f64
+    }
+
+    /// A read-only [`SystemView`] of the current state, as handed to a
+    /// [`Mapper`] at a mapping event.
+    pub fn system_view(&self) -> SystemView<'_> {
+        SystemView::new(
+            self.cluster,
+            self.table,
+            &self.cores,
+            self.now,
+            self.arrived,
+            self.tasks.len(),
+        )
+    }
+
+    /// Records one telemetry sample at the current time: `queue_depth` is
+    /// discipline-defined (FIFO depth in immediate mode, normalized bag
+    /// depth in batch mode); the busy-core count is taken from the core
+    /// states.
+    pub fn sample_telemetry(&mut self, queue_depth: f64) {
+        let busy = self.cores.iter().filter(|c| !c.is_idle()).count();
+        self.telemetry.sample(self.now, queue_depth, busy);
+    }
+
+    /// Records the chosen `(core, pstate)` assignment for `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn record_assignment(
+        &mut self,
+        task: TaskId,
+        core: usize,
+        pstate: ecds_cluster::PState,
+    ) {
+        assert!(
+            core < self.cores.len(),
+            "mapper chose nonexistent core {core}"
+        );
+        self.outcomes[task.0].assignment = Some((core, pstate));
+    }
+
+    /// Starts `task` executing on `core` in `pstate` at the current time:
+    /// logs the P-state transition with the energy accountant, marks the
+    /// core busy, records the start outcome, and schedules the completion
+    /// event from the task's realized execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the core is already executing a task.
+    pub fn start_task(&mut self, core: usize, task: TaskId, pstate: ecds_cluster::PState) {
+        let task_data = &self.tasks[task.0];
+        self.accountant.record(core, self.now, pstate);
+        self.cores[core].start(ExecutingTask {
+            task,
+            type_id: task_data.type_id,
+            pstate,
+            start: self.now,
+            deadline: task_data.deadline,
+        });
+        self.outcomes[task.0].start = Some(self.now);
+        let node = self.cluster.core(core).node;
+        let actual =
+            self.table
+                .actual_time(task_data.type_id, node, pstate, task_data.quantile);
+        self.queue
+            .push(self.now + actual, EventKind::Completion { core, task });
+    }
+
+    /// Appends `task` to `core`'s FIFO wait queue (immediate mode's
+    /// commit-at-arrival for busy cores).
+    pub fn enqueue_task(&mut self, core: usize, task: TaskId, pstate: ecds_cluster::PState) {
+        let task_data = &self.tasks[task.0];
+        self.cores[core].enqueue(QueuedTask {
+            task,
+            type_id: task_data.type_id,
+            pstate,
+            deadline: task_data.deadline,
+        });
+    }
+
+    /// Releases `core` after its executing task finished, returning the
+    /// next FIFO-queued task (if any) for the discipline to start.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing is executing on the core.
+    pub fn complete_core(&mut self, core: usize) -> Option<QueuedTask> {
+        let (_done, next) = self.cores[core].complete();
+        next
+    }
+
+    /// Pops the next waiting task off `core`'s FIFO without starting it —
+    /// the cancel-overdue path.
+    pub fn pop_queued(&mut self, core: usize) -> Option<QueuedTask> {
+        self.cores[core].pop_queued()
+    }
+
+    /// Marks `task` as cancelled (the `cancel_overdue` extension dropped
+    /// it instead of running it).
+    pub fn mark_cancelled(&mut self, task: TaskId) {
+        self.outcomes[task.0].cancelled = true;
+    }
+
+    /// Parks an idle `core` in the configured idle-downshift P-state, if
+    /// any (no-op otherwise).
+    pub fn park_idle(&mut self, core: usize) {
+        if let Some(idle_state) = self.cfg.idle_downshift {
+            self.accountant.record(core, self.now, idle_state);
+        }
+    }
+}
+
+/// The paper's commitment discipline: every task is mapped by a [`Mapper`]
+/// at its arrival instant and committed to a core FIFO immediately;
+/// `None` from the mapper discards the task.
+pub struct ImmediateDiscipline<'m> {
+    mapper: &'m mut dyn Mapper,
+}
+
+impl std::fmt::Debug for ImmediateDiscipline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImmediateDiscipline").finish_non_exhaustive()
+    }
+}
+
+impl<'m> ImmediateDiscipline<'m> {
+    /// Wraps a mapper for the unified engine.
+    pub fn new(mapper: &'m mut dyn Mapper) -> Self {
+        Self { mapper }
+    }
+}
+
+impl Discipline for ImmediateDiscipline<'_> {
+    fn on_trial_start(&mut self, _ctx: &mut EngineCtx<'_>) {
+        self.mapper.on_trial_start();
+    }
+
+    fn on_arrival(&mut self, ctx: &mut EngineCtx<'_>, task: TaskId) {
+        let depth = ctx.avg_queue_depth();
+        ctx.sample_telemetry(depth);
+        let assignment = {
+            let view = ctx.system_view();
+            self.mapper.assign(ctx.task(task), &view)
+        };
+        let Some(assignment) = assignment else {
+            return; // discarded — counts as a miss
+        };
+        ctx.record_assignment(task, assignment.core, assignment.pstate);
+        if ctx.core_states()[assignment.core].is_idle() {
+            // Start immediately: the core transitions to the task's
+            // P-state now (it was idle, so it may switch).
+            ctx.start_task(assignment.core, task, assignment.pstate);
+        } else {
+            ctx.enqueue_task(assignment.core, task, assignment.pstate);
+        }
+    }
+
+    fn on_completion(&mut self, ctx: &mut EngineCtx<'_>, core: usize, _task: TaskId) {
+        let mut next = ctx.complete_core(core);
+        // Extension: drop queued tasks that already missed their deadlines
+        // instead of burning energy on them.
+        if ctx.config().cancel_overdue {
+            while let Some(queued) = next {
+                if ctx.now() > queued.deadline {
+                    ctx.mark_cancelled(queued.task);
+                    next = ctx.pop_queued(core);
+                } else {
+                    next = Some(queued);
+                    break;
+                }
+            }
+        }
+        if let Some(queued) = next {
+            ctx.start_task(core, queued.task, queued.pstate);
+        } else {
+            // Extension (paper future work): park the idle core in a
+            // frugal state.
+            ctx.park_idle(core);
+        }
+    }
+
+    fn stats(&self) -> MapperStats {
+        self.mapper.stats()
+    }
+}

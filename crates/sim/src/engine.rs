@@ -1,17 +1,28 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine: one event core for every
+//! commitment discipline.
+//!
+//! The engine owns everything the simulation modes share — the
+//! deterministic [`EventQueue`](crate::event::EventQueue) (completions
+//! before arrivals at equal times, then insertion order), per-core run
+//! state, the Eq. 1–2 energy accountant, per-task outcomes, telemetry
+//! sampling, and the exact exhaustion cutoff. A pluggable [`Discipline`]
+//! decides *when mapped work is committed to a core*: immediate mode
+//! ([`ImmediateDiscipline`] driving a
+//! [`Mapper`]) commits at arrival into a core FIFO; batch mode
+//! (`BatchDiscipline` in `ecds-ext`) holds a central pending bag and
+//! commits when cores free up.
 
 use ecds_pmf::Time;
 use ecds_workload::WorkloadTrace;
 
-use crate::energy::EnergyAccountant;
-use crate::event::{EventKind, EventQueue};
-use crate::result::{TaskOutcome, TrialResult};
+use crate::discipline::{Discipline, EngineCtx, ImmediateDiscipline};
+use crate::event::EventKind;
+use crate::result::TrialResult;
 use crate::scenario::Scenario;
-use crate::state::{CoreState, ExecutingTask, QueuedTask};
-use crate::telemetry::Telemetry;
-use crate::view::{Mapper, SystemView};
+use crate::view::Mapper;
 
-/// One trial's simulation: a scenario plus a trace, run with a mapper.
+/// One trial's simulation: a scenario plus a trace, run with a mapper (or
+/// any [`Discipline`]).
 ///
 /// `Simulation` is cheap to construct; all heavy state lives on the stack of
 /// [`Simulation::run`], so one instance can be reused and runs are
@@ -34,168 +45,72 @@ impl<'a> Simulation<'a> {
     /// Every task is mapped at its arrival instant (immediate mode); mapped
     /// tasks run to completion even past their deadlines; the energy
     /// accountant integrates power for every core from time zero to the
-    /// completion of the last task.
+    /// completion of the last task. Equivalent to
+    /// [`Simulation::run_with`] under an [`ImmediateDiscipline`].
     pub fn run(&self, mapper: &mut dyn Mapper) -> TrialResult {
+        self.run_with(&mut ImmediateDiscipline::new(mapper))
+    }
+
+    /// Runs the trial to completion under an arbitrary commitment
+    /// [`Discipline`] and reports the result.
+    ///
+    /// The engine pops events in deterministic order (time, then
+    /// completions before arrivals, then insertion order), records shared
+    /// bookkeeping (arrival counts, completion outcomes), and delegates
+    /// every commitment decision to the discipline's hooks. After the last
+    /// event it finalizes the energy accountant, computes the exact budget
+    /// exhaustion instant, and copies the discipline's
+    /// [`stats`](Discipline::stats) into the trial telemetry.
+    pub fn run_with(&self, discipline: &mut dyn Discipline) -> TrialResult {
         let cluster = self.scenario.cluster();
-        let table = self.scenario.table();
         let cfg = self.scenario.sim_config();
-        let tasks = self.trace.tasks();
-        let window = tasks.len();
-        let num_cores = cluster.total_cores();
+        let mut ctx = EngineCtx::new(
+            cluster,
+            self.scenario.table(),
+            cfg,
+            self.trace.tasks(),
+        );
+        discipline.on_trial_start(&mut ctx);
 
-        mapper.on_trial_start();
-
-        let mut cores = vec![CoreState::new(); num_cores];
-        let mut accountant = EnergyAccountant::new(cluster, 0.0, cfg.initial_pstate);
-        let mut outcomes: Vec<TaskOutcome> = tasks
-            .iter()
-            .map(|t| TaskOutcome {
-                task: t.id,
-                type_id: t.type_id,
-                arrival: t.arrival,
-                deadline: t.deadline,
-                assignment: None,
-                start: None,
-                completion: None,
-                cancelled: false,
-            })
-            .collect();
-
-        let mut queue = EventQueue::new();
-        for task in tasks {
-            queue.push(task.arrival, EventKind::Arrival(task.id));
-        }
-
-        let mut arrived = 0usize;
         let mut end_time: Time = 0.0;
-        let mut telemetry = Telemetry::new();
-
-        while let Some(event) = queue.pop() {
+        while let Some(event) = ctx.queue.pop() {
             end_time = end_time.max(event.time);
+            ctx.now = event.time;
             match event.kind {
                 EventKind::Arrival(task_id) => {
-                    arrived += 1;
-                    let task = &tasks[task_id.0];
-                    debug_assert_eq!(task.id, task_id, "trace must be id-ordered");
-                    let view =
-                        SystemView::new(cluster, table, &cores, event.time, arrived, window);
-                    telemetry.sample(
-                        event.time,
-                        view.avg_queue_depth(),
-                        cores.iter().filter(|c| !c.is_idle()).count(),
+                    ctx.arrived += 1;
+                    debug_assert_eq!(
+                        ctx.tasks[task_id.0].id,
+                        task_id,
+                        "trace must be id-ordered"
                     );
-                    let Some(assignment) = mapper.assign(task, &view) else {
-                        continue; // discarded — counts as a miss
-                    };
-                    assert!(
-                        assignment.core < num_cores,
-                        "mapper chose nonexistent core {}",
-                        assignment.core
-                    );
-                    outcomes[task_id.0].assignment =
-                        Some((assignment.core, assignment.pstate));
-                    let core_state = &mut cores[assignment.core];
-                    if core_state.is_idle() {
-                        // Start immediately: the core transitions to the
-                        // task's P-state now (it was idle, so it may switch).
-                        accountant.record(assignment.core, event.time, assignment.pstate);
-                        core_state.start(ExecutingTask {
-                            task: task_id,
-                            type_id: task.type_id,
-                            pstate: assignment.pstate,
-                            start: event.time,
-                            deadline: task.deadline,
-                        });
-                        outcomes[task_id.0].start = Some(event.time);
-                        let node = cluster.core(assignment.core).node;
-                        let actual = table.actual_time(
-                            task.type_id,
-                            node,
-                            assignment.pstate,
-                            task.quantile,
-                        );
-                        queue.push(
-                            event.time + actual,
-                            EventKind::Completion {
-                                core: assignment.core,
-                                task: task_id,
-                            },
-                        );
-                    } else {
-                        core_state.enqueue(QueuedTask {
-                            task: task_id,
-                            type_id: task.type_id,
-                            pstate: assignment.pstate,
-                            deadline: task.deadline,
-                        });
-                    }
+                    discipline.on_arrival(&mut ctx, task_id);
                 }
                 EventKind::Completion { core, task } => {
-                    outcomes[task.0].completion = Some(event.time);
-                    let (_done, mut next) = cores[core].complete();
-                    // Extension: drop queued tasks that already missed
-                    // their deadlines instead of burning energy on them.
-                    if cfg.cancel_overdue {
-                        while let Some(queued) = next {
-                            if event.time > queued.deadline {
-                                outcomes[queued.task.0].cancelled = true;
-                                next = cores[core].pop_queued();
-                            } else {
-                                next = Some(queued);
-                                break;
-                            }
-                        }
-                    }
-                    if let Some(queued) = next {
-                        accountant.record(core, event.time, queued.pstate);
-                        cores[core].start(ExecutingTask {
-                            task: queued.task,
-                            type_id: queued.type_id,
-                            pstate: queued.pstate,
-                            start: event.time,
-                            deadline: queued.deadline,
-                        });
-                        outcomes[queued.task.0].start = Some(event.time);
-                        let node = cluster.core(core).node;
-                        let quantile = tasks[queued.task.0].quantile;
-                        let actual =
-                            table.actual_time(queued.type_id, node, queued.pstate, quantile);
-                        queue.push(
-                            event.time + actual,
-                            EventKind::Completion {
-                                core,
-                                task: queued.task,
-                            },
-                        );
-                    } else if let Some(idle_state) = cfg.idle_downshift {
-                        // Extension (paper future work): park the idle core
-                        // in a frugal state.
-                        accountant.record(core, event.time, idle_state);
-                    }
+                    ctx.outcomes[task.0].completion = Some(event.time);
+                    discipline.on_completion(&mut ctx, core, task);
                 }
             }
+            discipline.after_event(&mut ctx);
         }
 
-        accountant.finalize(end_time);
-        if let Some((hits, misses)) = mapper.prefix_cache_stats() {
-            telemetry.prefix_cache_hits = hits;
-            telemetry.prefix_cache_misses = misses;
-        }
-        telemetry.fused_kernel_calls = mapper.fused_kernel_calls();
-        telemetry.power = accountant.power_timeline(cluster);
-        let total_energy = accountant.total_energy(cluster);
+        ctx.accountant.finalize(end_time);
+        let mut telemetry = ctx.telemetry;
+        telemetry.mapper = discipline.stats();
+        telemetry.power = ctx.accountant.power_timeline(cluster);
+        let total_energy = ctx.accountant.total_energy(cluster);
         let exhausted_at = cfg
             .energy_budget
-            .and_then(|budget| accountant.exhaustion_time(cluster, budget));
+            .and_then(|budget| ctx.accountant.exhaustion_time(cluster, budget));
 
-        TrialResult::new(outcomes, total_energy, exhausted_at, end_time, telemetry)
+        TrialResult::new(ctx.outcomes, total_energy, exhausted_at, end_time, telemetry)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::view::Assignment;
+    use crate::view::{Assignment, SystemView};
     use ecds_cluster::PState;
     use ecds_workload::Task;
 

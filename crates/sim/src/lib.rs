@@ -2,13 +2,17 @@
 //! study.
 //!
 //! The simulator drives one *trial*: a [`ecds_workload::WorkloadTrace`] of
-//! dynamically-arriving tasks mapped in immediate mode onto an
-//! [`ecds_cluster::Cluster`] by a pluggable [`Mapper`] (the heuristics and
-//! filters live in `ecds-core`; the simulator knows only the `Mapper`
-//! trait). It maintains per-core FIFO run queues, P-state transition logs,
-//! and exact energy accounting per the paper's Eqs. 1–2, and reports a
-//! [`TrialResult`] with per-task outcomes and the paper's metric: missed
-//! deadlines under the energy constraint.
+//! dynamically-arriving tasks mapped onto an [`ecds_cluster::Cluster`]
+//! through one unified event-driven engine with a pluggable *commitment
+//! discipline* (the [`Discipline`] trait): immediate mode drives a
+//! [`Mapper`] (the heuristics and filters live in `ecds-core`; the
+//! simulator knows only the trait) committing each task to a core FIFO at
+//! its arrival instant, while batch mode (`ecds-ext`) holds a central
+//! pending bag and commits when cores free up. The engine maintains
+//! per-core FIFO run queues, P-state transition logs, and exact energy
+//! accounting per the paper's Eqs. 1–2, and reports a [`TrialResult`] with
+//! per-task outcomes and the paper's metric: missed deadlines under the
+//! energy constraint.
 //!
 //! # Semantics (paper Sec. III, plus DESIGN.md §3 interpretations)
 //!
@@ -51,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod discipline;
 pub mod energy;
 pub mod engine;
 pub mod event;
@@ -62,11 +67,13 @@ pub mod telemetry;
 pub mod view;
 
 pub use config::SimConfig;
+pub use discipline::{Discipline, EngineCtx, ImmediateDiscipline};
 pub use energy::{EnergyAccountant, TransitionLog};
 pub use engine::Simulation;
+pub use event::{EventKind, EventQueue};
 pub use report::EnergyBreakdown;
 pub use result::{TaskOutcome, TrialResult};
 pub use scenario::Scenario;
 pub use state::{CoreState, ExecutingTask, QueuedTask};
-pub use telemetry::Telemetry;
+pub use telemetry::{MapperStats, Telemetry};
 pub use view::{Assignment, Mapper, SystemView};

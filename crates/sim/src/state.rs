@@ -53,8 +53,8 @@ impl CoreState {
         Self::default()
     }
 
-    /// The mutation epoch: strictly increases on every [`enqueue`]
-    /// (`CoreState::enqueue`), [`start`](CoreState::start),
+    /// The mutation epoch: strictly increases on every
+    /// [`enqueue`](CoreState::enqueue), [`start`](CoreState::start),
     /// [`complete`](CoreState::complete), and
     /// [`pop_queued`](CoreState::pop_queued). Two observations of the same
     /// core with equal epochs saw identical executing/queued state.

@@ -8,11 +8,58 @@
 
 use ecds_pmf::Time;
 
+/// Structured per-trial instrumentation reported by a mapper (or any other
+/// commitment discipline) after a trial.
+///
+/// This is the single seam through which mapper-side counters reach the
+/// engine's [`Telemetry`] and, from there, experiment reports and the
+/// `telemetry_trace` example. New instrumentation adds a field here (with a
+/// `Default`-compatible zero value) instead of widening the
+/// [`Mapper`](crate::Mapper) trait with another accessor method.
+///
+/// All counters are diagnostic only: they never affect scheduling
+/// decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapperStats {
+    /// `Some((hits, misses))` of the mapper's queue-prefix pmf cache for
+    /// the trial, or `None` for mappers that do not cache (DESIGN.md §7).
+    pub prefix_cache: Option<(u64, u64)>,
+    /// Fused pmf-kernel invocations for the trial — the
+    /// allocation-free-path coverage counter (DESIGN.md §7.1). Zero for
+    /// mappers without a fused kernel.
+    pub fused_kernel_calls: u64,
+}
+
+impl MapperStats {
+    /// Queue-prefix cache hits (zero when the mapper does not cache).
+    pub fn prefix_cache_hits(&self) -> u64 {
+        self.prefix_cache.map_or(0, |(h, _)| h)
+    }
+
+    /// Queue-prefix cache misses (zero when the mapper does not cache).
+    pub fn prefix_cache_misses(&self) -> u64 {
+        self.prefix_cache.map_or(0, |(_, m)| m)
+    }
+
+    /// Total queue-prefix cache lookups (hits plus misses).
+    pub fn prefix_cache_lookups(&self) -> u64 {
+        self.prefix_cache_hits() + self.prefix_cache_misses()
+    }
+
+    /// Fraction of prefix-cache lookups that hit, or `None` when the
+    /// mapper reported no lookups at all (e.g. it does not cache).
+    pub fn prefix_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.prefix_cache_lookups();
+        (total > 0).then(|| self.prefix_cache_hits() as f64 / total as f64)
+    }
+}
+
 /// Time series captured during one trial.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Telemetry {
     /// `(arrival time, instantaneous average queue depth)` — the quantity
-    /// the energy filter's ζ_mul adapts on.
+    /// the energy filter's ζ_mul adapts on. In batch mode this is the
+    /// pending-bag depth normalized by the core count.
     pub queue_depth: Vec<(Time, f64)>,
     /// `(arrival time, cores currently executing a task)`.
     pub busy_cores: Vec<(Time, usize)>,
@@ -21,17 +68,10 @@ pub struct Telemetry {
     /// P-state transition logs after the run; integrating it over the
     /// makespan reproduces the trial's total energy exactly).
     pub power: Vec<(Time, f64)>,
-    /// Queue-prefix pmf cache hits reported by the mapper for this trial
-    /// (zero for mappers without a cache). Diagnostic only: does not affect
-    /// scheduling decisions.
-    pub prefix_cache_hits: u64,
-    /// Queue-prefix pmf cache misses reported by the mapper for this trial
-    /// (zero for mappers without a cache).
-    pub prefix_cache_misses: u64,
-    /// Fused pmf-kernel invocations reported by the mapper for this trial
-    /// (zero for mappers without a fused kernel) — allocation-free-path
-    /// coverage. Diagnostic only: does not affect scheduling decisions.
-    pub fused_kernel_calls: u64,
+    /// Structured mapper-side counters for the trial (prefix-cache
+    /// hits/misses, fused-kernel coverage, …), copied from
+    /// [`Mapper::stats`](crate::Mapper::stats) by the engine after the run.
+    pub mapper: MapperStats,
 }
 
 impl Telemetry {
@@ -47,10 +87,10 @@ impl Telemetry {
     }
 
     /// Fraction of prefix-cache lookups that hit, or `None` when the mapper
-    /// reported no lookups at all (e.g. it does not cache).
+    /// reported no lookups at all (e.g. it does not cache). Convenience
+    /// delegate to [`MapperStats::prefix_cache_hit_rate`].
     pub fn prefix_cache_hit_rate(&self) -> Option<f64> {
-        let total = self.prefix_cache_hits + self.prefix_cache_misses;
-        (total > 0).then(|| self.prefix_cache_hits as f64 / total as f64)
+        self.mapper.prefix_cache_hit_rate()
     }
 
     /// Peak average queue depth over the trial.
@@ -113,14 +153,32 @@ mod tests {
     #[test]
     fn hit_rate_is_none_without_lookups() {
         assert_eq!(Telemetry::new().prefix_cache_hit_rate(), None);
+        // A caching mapper that performed no lookups is also "no rate".
+        let stats = MapperStats {
+            prefix_cache: Some((0, 0)),
+            ..MapperStats::default()
+        };
+        assert_eq!(stats.prefix_cache_hit_rate(), None);
     }
 
     #[test]
     fn hit_rate_divides_hits_by_total() {
         let mut t = Telemetry::new();
-        t.prefix_cache_hits = 3;
-        t.prefix_cache_misses = 1;
+        t.mapper.prefix_cache = Some((3, 1));
         assert_eq!(t.prefix_cache_hit_rate(), Some(0.75));
+        assert_eq!(t.mapper.prefix_cache_hits(), 3);
+        assert_eq!(t.mapper.prefix_cache_misses(), 1);
+        assert_eq!(t.mapper.prefix_cache_lookups(), 4);
+    }
+
+    #[test]
+    fn uncached_stats_report_zero_counters() {
+        let stats = MapperStats::default();
+        assert_eq!(stats.prefix_cache, None);
+        assert_eq!(stats.prefix_cache_hits(), 0);
+        assert_eq!(stats.prefix_cache_misses(), 0);
+        assert_eq!(stats.prefix_cache_hit_rate(), None);
+        assert_eq!(stats.fused_kernel_calls, 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use ecds_pmf::Time;
 use ecds_workload::{ExecTable, Task};
 
 use crate::state::CoreState;
+use crate::telemetry::MapperStats;
 
 /// The decision a mapper returns: run the task on the core with flat index
 /// `core`, in `pstate`. An *assignment* in the paper's sense is the full
@@ -34,20 +35,15 @@ pub trait Mapper {
     /// reset ledgers. Default: no-op.
     fn on_trial_start(&mut self) {}
 
-    /// `(hits, misses)` of the mapper's queue-prefix pmf cache since the
-    /// last [`Mapper::on_trial_start`], or `None` for mappers that do not
-    /// cache. The engine copies this into [`crate::Telemetry`] after each
-    /// trial. Default: `None`.
-    fn prefix_cache_stats(&self) -> Option<(u64, u64)> {
-        None
-    }
-
-    /// Number of fused pmf-kernel invocations since the last
-    /// [`Mapper::on_trial_start`] — the allocation-free-path coverage
-    /// counter. The engine copies this into [`crate::Telemetry`] after each
-    /// trial. Default: 0 for mappers without a fused kernel.
-    fn fused_kernel_calls(&self) -> u64 {
-        0
+    /// Structured instrumentation counters accumulated since the last
+    /// [`Mapper::on_trial_start`]. The engine copies this into
+    /// [`crate::Telemetry`] after each trial. Default: all-zero
+    /// [`MapperStats`] for uninstrumented mappers.
+    ///
+    /// Future instrumentation extends [`MapperStats`] (a plain struct with
+    /// a `Default`) rather than adding further methods to this trait.
+    fn stats(&self) -> MapperStats {
+        MapperStats::default()
     }
 }
 

@@ -1,0 +1,124 @@
+//! Property tests of the [`EventQueue`] ordering contract — the invariants
+//! every commitment discipline now inherits from the unified engine:
+//!
+//! 1. pops are non-decreasing in time;
+//! 2. at equal times, completions pop before arrivals (a core freed at
+//!    instant `t` is visible to work mapped at `t`);
+//! 3. within one `(time, kind-rank)` class, insertion order is preserved
+//!    (FIFO) — the final, total tie-break that makes trials reproducible
+//!    bit-for-bit.
+
+use ecds_sim::{EventKind, EventQueue};
+use ecds_workload::TaskId;
+use proptest::prelude::*;
+
+/// One scripted push: a small time grid (to force plenty of exact ties), a
+/// completion flag, and a payload id.
+fn arb_pushes() -> impl Strategy<Value = Vec<(u8, bool, usize)>> {
+    prop::collection::vec((0u8..6, prop::bool::ANY, 0usize..64), 1..40)
+}
+
+fn build(pushes: &[(u8, bool, usize)]) -> EventQueue {
+    let mut q = EventQueue::new();
+    for &(slot, completion, id) in pushes {
+        let time = slot as f64;
+        let kind = if completion {
+            EventKind::Completion {
+                core: id % 8,
+                task: TaskId(id),
+            }
+        } else {
+            EventKind::Arrival(TaskId(id))
+        };
+        q.push(time, kind);
+    }
+    q
+}
+
+fn rank(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Completion { .. } => 0,
+        EventKind::Arrival(_) => 1,
+    }
+}
+
+fn payload(kind: &EventKind) -> usize {
+    match kind {
+        EventKind::Completion { task, .. } => task.0,
+        EventKind::Arrival(task) => task.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pops_are_time_ordered(pushes in arb_pushes()) {
+        let mut q = build(&pushes);
+        let mut last = f64::NEG_INFINITY;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= last, "time went backwards: {} after {last}", e.time);
+            last = e.time;
+        }
+    }
+
+    #[test]
+    fn completions_pop_before_arrivals_at_equal_times(pushes in arb_pushes()) {
+        let mut q = build(&pushes);
+        let mut prev: Option<(f64, u8)> = None;
+        while let Some(e) = q.pop() {
+            let r = rank(&e.kind);
+            if let Some((pt, pr)) = prev {
+                if e.time == pt {
+                    prop_assert!(
+                        r >= pr,
+                        "arrival popped before completion at t={pt}"
+                    );
+                }
+            }
+            prev = Some((e.time, r));
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_the_final_tie_break(pushes in arb_pushes()) {
+        let mut q = build(&pushes);
+        // Expected order within each (time, rank) class = push order.
+        let mut popped: Vec<(f64, u8, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, rank(&e.kind), payload(&e.kind)));
+        }
+        // Project the pushes per class and compare against the pops.
+        for slot in 0u8..6 {
+            for completion in [true, false] {
+                let expected: Vec<usize> = pushes
+                    .iter()
+                    .filter(|&&(s, c, _)| s == slot && c == completion)
+                    .map(|&(_, _, id)| id)
+                    .collect();
+                let r = u8::from(!completion);
+                let got: Vec<usize> = popped
+                    .iter()
+                    .filter(|&&(t, pr, _)| t == slot as f64 && pr == r)
+                    .map(|&(_, _, id)| id)
+                    .collect();
+                prop_assert_eq!(
+                    &expected, &got,
+                    "class (t={}, completion={}) not FIFO", slot, completion
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_push_pops_exactly_once(pushes in arb_pushes()) {
+        let mut q = build(&pushes);
+        prop_assert_eq!(q.len(), pushes.len());
+        let mut n = 0usize;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        prop_assert_eq!(n, pushes.len());
+        prop_assert!(q.is_empty());
+    }
+}

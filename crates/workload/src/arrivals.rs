@@ -1,4 +1,4 @@
-//! Bursty Poisson arrival process (paper Sec. VI, after [LiB98]).
+//! Bursty Poisson arrival process (paper Sec. VI, after \[LiB98\]).
 //!
 //! Arrivals follow a Poisson process whose rate switches by task count: the
 //! first 200 tasks arrive at `λ_fast = 1/8` (oversubscribing the cluster),

@@ -1,5 +1,5 @@
 //! CVB (coefficient-of-variation based) mean-execution-time matrix
-//! generation, after [AlS00].
+//! generation, after \[AlS00\].
 //!
 //! The CVB method characterizes heterogeneity with three parameters: the
 //! overall mean task execution time `μ_task`, the task-heterogeneity CV
@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn machine_heterogeneity_is_inconsistent() {
-        // [AlS00] inconsistency: the fastest node for one type need not be
+        // \[AlS00\] inconsistency: the fastest node for one type need not be
         // fastest for another. With 100 types this is a near-certainty.
         let m = gen(4);
         let argmin = |t: usize| {

@@ -6,7 +6,7 @@
 //! matrix: the base-state pmf of (type, node) is an empirical gamma pmf
 //! around `ETC[t][i]`, and each deeper P-state scales its support by the
 //! node's execution-time multiplier (DVFS slows the clock; the paper's
-//! clock-speed profile "scale[s] the execution time distributions").
+//! clock-speed profile "scale\[s\] the execution time distributions").
 
 use ecds_cluster::{Cluster, PState, NUM_PSTATES};
 use ecds_pmf::{empirical_pmf, Gamma, Pmf, Prob, SeedDerive, Stream, Time};

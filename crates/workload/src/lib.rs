@@ -7,7 +7,7 @@
 //! provides:
 //!
 //! * the CVB (coefficient-of-variation-based) heterogeneity generator of
-//!   [AlS00] producing the matrix of mean execution times per
+//!   \[AlS00\] producing the matrix of mean execution times per
 //!   (task type, node) — `μ_task = 750`, `V_task = V_mach = 0.25` in the
 //!   paper,
 //! * the execution-time pmf table per (task type, node, P-state),

@@ -50,19 +50,19 @@ fn main() {
             "{:<16} (time axis: 0 .. {:.0}, {} buckets)",
             "", result.makespan(), BUCKETS
         );
-        if let Some(rate) = telemetry.prefix_cache_hit_rate() {
+        if let Some(rate) = telemetry.mapper.prefix_cache_hit_rate() {
             println!(
                 "{:<16} prefix cache: {:.1}% hit rate ({} hits / {} lookups)",
                 "",
                 rate * 100.0,
-                telemetry.prefix_cache_hits,
-                telemetry.prefix_cache_hits + telemetry.prefix_cache_misses
+                telemetry.mapper.prefix_cache_hits(),
+                telemetry.mapper.prefix_cache_lookups()
             );
         }
-        if telemetry.fused_kernel_calls > 0 {
+        if telemetry.mapper.fused_kernel_calls > 0 {
             println!(
                 "{:<16} fused kernel: {} allocation-free convolutions this trial",
-                "", telemetry.fused_kernel_calls
+                "", telemetry.mapper.fused_kernel_calls
             );
         }
     }

@@ -104,7 +104,7 @@ fn fused_runs_report_kernel_calls_and_legacy_report_zero() {
     );
     let a = Simulation::new(&scenario, &trace).run(fused.as_mut());
     assert!(
-        a.telemetry().fused_kernel_calls > 0,
+        a.telemetry().mapper.fused_kernel_calls > 0,
         "default scheduler must route convolutions through the fused kernel"
     );
 
@@ -118,6 +118,6 @@ fn fused_runs_report_kernel_calls_and_legacy_report_zero() {
         .without_fused_kernel(),
     );
     let b = Simulation::new(&scenario, &trace).run(legacy.as_mut());
-    assert_eq!(b.telemetry().fused_kernel_calls, 0);
+    assert_eq!(b.telemetry().mapper.fused_kernel_calls, 0);
     assert_semantically_identical(&a, &b, "counter check pair");
 }

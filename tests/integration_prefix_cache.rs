@@ -101,8 +101,8 @@ fn cached_runs_report_hits_and_uncached_report_none() {
         0,
     );
     let a = Simulation::new(&scenario, &trace).run(cached.as_mut());
-    let hits = a.telemetry().prefix_cache_hits;
-    let misses = a.telemetry().prefix_cache_misses;
+    let hits = a.telemetry().mapper.prefix_cache_hits();
+    let misses = a.telemetry().mapper.prefix_cache_misses();
     assert!(hits > 0, "no cache hits over a whole trial");
     assert!(misses > 0, "every core mutates at least once");
     assert_eq!(
@@ -120,8 +120,8 @@ fn cached_runs_report_hits_and_uncached_report_none() {
         .without_prefix_cache(),
     );
     let b = Simulation::new(&scenario, &trace).run(uncached.as_mut());
-    assert_eq!(b.telemetry().prefix_cache_hits, 0);
-    assert_eq!(b.telemetry().prefix_cache_misses, 0);
+    assert_eq!(b.telemetry().mapper.prefix_cache_hits(), 0);
+    assert_eq!(b.telemetry().mapper.prefix_cache_misses(), 0);
     assert_eq!(b.telemetry().prefix_cache_hit_rate(), None);
 }
 

@@ -8,7 +8,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 
 /// An inclusive size bound for collection strategies, converted from the
-/// range types test code passes to [`vec`].
+/// range types test code passes to [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct VecStrategy<S> {
     element: S,

@@ -72,17 +72,21 @@ fn bench_idle_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_idle_policy");
     group.sample_size(10);
     for (name, scenario) in [("downshift", &parked), ("linger", &linger)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), scenario, |b, scenario| {
-            b.iter(|| {
-                let mut sched = Scheduler::new(
-                    Box::new(MinimumExpectedCompletionTime),
-                    FilterVariant::EnergyAndRobustness.build(),
-                    budget,
-                    ReductionPolicy::default(),
-                );
-                black_box(Simulation::new(scenario, &trace).run(&mut sched).missed())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let mut sched = Scheduler::new(
+                        Box::new(MinimumExpectedCompletionTime),
+                        FilterVariant::EnergyAndRobustness.build(),
+                        budget,
+                        ReductionPolicy::default(),
+                    );
+                    black_box(Simulation::new(scenario, &trace).run(&mut sched).missed())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -109,11 +113,7 @@ fn bench_commitment_discipline(c: &mut Criterion) {
         })
     });
     group.bench_function("batch_max_rho", |b| {
-        b.iter(|| {
-            black_box(
-                run_batch(&scenario, &trace, &mut BatchMaxRho::default()).missed(),
-            )
-        })
+        b.iter(|| black_box(run_batch(&scenario, &trace, &mut BatchMaxRho::default()).missed()))
     });
     group.bench_function("batch_edf", |b| {
         b.iter(|| black_box(run_batch(&scenario, &trace, &mut BatchEdf).missed()))

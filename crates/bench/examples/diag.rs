@@ -11,15 +11,28 @@ use ecds_core::{build_scheduler, FilterVariant, HeuristicKind};
 use ecds_sim::{Scenario, Simulation};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2011);
-    let trials: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2011);
+    let trials: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let scenario = Scenario::paper(seed);
-    println!("seed={seed} cores={} t_avg={:.0} budget={:.3e}",
-        scenario.cluster().total_cores(), scenario.table().t_avg(),
-        scenario.energy_budget().unwrap());
+    println!(
+        "seed={seed} cores={} t_avg={:.0} budget={:.3e}",
+        scenario.cluster().total_cores(),
+        scenario.table().t_avg(),
+        scenario.energy_budget().unwrap()
+    );
     let traces: Vec<_> = (0..trials).map(|t| scenario.trace(t)).collect();
     let mut cells = Vec::new();
-    for k in HeuristicKind::ALL { for v in FilterVariant::ALL { cells.push((k, v)); } }
+    for k in HeuristicKind::ALL {
+        for v in FilterVariant::ALL {
+            cells.push((k, v));
+        }
+    }
     let rows = run_parallel(cells.len() * trials as usize, 1, |i| {
         let (ci, t) = (i / trials as usize, i % trials as usize);
         let (k, v) = cells[ci];
@@ -28,8 +41,18 @@ fn main() {
         (ci, r.missed())
     });
     for (ci, &(k, v)) in cells.iter().enumerate() {
-        let m: Vec<usize> = rows.iter().filter(|(c, _)| *c == ci).map(|(_, m)| *m).collect();
+        let m: Vec<usize> = rows
+            .iter()
+            .filter(|(c, _)| *c == ci)
+            .map(|(_, m)| *m)
+            .collect();
         let mean = m.iter().sum::<usize>() as f64 / m.len() as f64;
-        println!("{:>8}/{:<7} mean_missed={:6.1} {:?}", k.label(), v.label(), mean, m);
+        println!(
+            "{:>8}/{:<7} mean_missed={:6.1} {:?}",
+            k.label(),
+            v.label(),
+            mean,
+            m
+        );
     }
 }

@@ -10,9 +10,9 @@
 
 use ecds_bench::parallel::{default_threads, run_parallel};
 use ecds_core::{
-    DeterministicMct, EnergyFilter, Filter, FilterVariant, Heuristic, HeuristicKind,
-    KPercentBest, MinimumExecutionTime, MinimumExpectedCompletionTime,
-    OpportunisticLoadBalancing, RobustnessFilter, Scheduler, ZetaMulPolicy,
+    DeterministicMct, EnergyFilter, Filter, FilterVariant, Heuristic, HeuristicKind, KPercentBest,
+    MinimumExecutionTime, MinimumExpectedCompletionTime, OpportunisticLoadBalancing,
+    RobustnessFilter, Scheduler, ZetaMulPolicy,
 };
 use ecds_pmf::ReductionPolicy;
 use ecds_sim::{Scenario, Simulation};
@@ -38,13 +38,11 @@ fn parse_args() -> Args {
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "zeta-mul" | "rho-thresh" | "impulse-cap" | "idle-downshift" | "arrivals"
-            | "zoo" | "all" => args.command = arg,
+            "zeta-mul" | "rho-thresh" | "impulse-cap" | "idle-downshift" | "arrivals" | "zoo"
+            | "all" => args.command = arg,
             "--trials" => args.trials = iter.next().and_then(|v| v.parse().ok()).expect("number"),
             "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).expect("number"),
-            "--threads" => {
-                args.threads = iter.next().and_then(|v| v.parse().ok()).expect("number")
-            }
+            "--threads" => args.threads = iter.next().and_then(|v| v.parse().ok()).expect("number"),
             "--small" => args.small = true,
             "--help" | "-h" => {
                 eprintln!(

@@ -98,6 +98,9 @@ fn main() {
         scenario.workload().window,
         scenario.energy_budget().unwrap_or(f64::INFINITY),
     );
+    // Progress reporting on stderr only — never flows into the report
+    // (clippy.toml / ecds-lint R2 ban the wall clock from result paths).
+    #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
     let grid = ExperimentGrid::run(config, &scenario);
     eprintln!("grid finished in {:.1}s", started.elapsed().as_secs_f64());
@@ -119,5 +122,9 @@ fn main() {
     std::fs::create_dir_all(&args.out).expect("create output directory");
     std::fs::write(args.out.join("grid.csv"), grid_csv(&grid)).expect("write grid.csv");
     std::fs::write(args.out.join("report.md"), &report).expect("write report.md");
-    eprintln!("wrote {}/grid.csv and {}/report.md", args.out.display(), args.out.display());
+    eprintln!(
+        "wrote {}/grid.csv and {}/report.md",
+        args.out.display(),
+        args.out.display()
+    );
 }

@@ -17,8 +17,8 @@
 //! ```
 
 use ecds_core::{RandomChoice, RobustnessFilter, Scheduler};
-use ecds_pmf::Stream;
 use ecds_pmf::ReductionPolicy;
+use ecds_pmf::Stream;
 use ecds_sim::{Scenario, SimConfig, Simulation};
 use ecds_stats::MarkdownTable;
 
@@ -75,9 +75,11 @@ fn main() {
     for trial in 0..args.trials {
         let trace = scenario.trace(trial);
         let mut sched = Scheduler::new(
-            Box::new(RandomChoice::new(
-                scenario.seeds().seed(Stream::Heuristic, trial, 1),
-            )),
+            Box::new(RandomChoice::new(scenario.seeds().seed(
+                Stream::Heuristic,
+                trial,
+                1,
+            ))),
             // A zero-threshold robustness filter keeps the pipeline
             // identical to the paper's while filtering nothing.
             vec![Box::new(RobustnessFilter::with_threshold(0.0))],
@@ -118,10 +120,9 @@ fn main() {
             ]);
             continue;
         }
-        let mean_pred: f64 =
-            in_bin.iter().map(|(rho, _)| rho).sum::<f64>() / in_bin.len() as f64;
-        let realized: f64 = in_bin.iter().filter(|(_, hit)| *hit).count() as f64
-            / in_bin.len() as f64;
+        let mean_pred: f64 = in_bin.iter().map(|(rho, _)| rho).sum::<f64>() / in_bin.len() as f64;
+        let realized: f64 =
+            in_bin.iter().filter(|(_, hit)| *hit).count() as f64 / in_bin.len() as f64;
         table.push_row(vec![
             format!("[{lo:.1}, {hi:.1})"),
             in_bin.len().to_string(),

@@ -117,9 +117,7 @@ impl ExperimentGrid {
     pub fn run(config: ExperimentConfig, scenario: &Scenario) -> Self {
         assert!(config.trials >= 1, "need at least one trial");
         assert!(!config.kinds.is_empty() && !config.variants.is_empty());
-        let traces: Vec<WorkloadTrace> = (0..config.trials)
-            .map(|t| scenario.trace(t))
-            .collect();
+        let traces: Vec<WorkloadTrace> = (0..config.trials).map(|t| scenario.trace(t)).collect();
         let cells_spec: Vec<(HeuristicKind, FilterVariant)> = config
             .kinds
             .iter()
@@ -191,11 +189,7 @@ impl ExperimentGrid {
             .filter_map(|&k| {
                 self.heuristic_row(k)
                     .into_iter()
-                    .min_by(|a, b| {
-                        a.median_missed()
-                            .partial_cmp(&b.median_missed())
-                            .expect("medians are finite")
-                    })
+                    .min_by(|a, b| a.median_missed().total_cmp(&b.median_missed()))
             })
             .collect()
     }
@@ -290,9 +284,12 @@ mod tests {
     fn cell_labels_match_figures() {
         let g = smoke_grid();
         assert_eq!(
-            g.cell(HeuristicKind::LightestLoad, FilterVariant::EnergyAndRobustness)
-                .unwrap()
-                .label(),
+            g.cell(
+                HeuristicKind::LightestLoad,
+                FilterVariant::EnergyAndRobustness
+            )
+            .unwrap()
+            .label(),
             "LL/en+rob"
         );
     }

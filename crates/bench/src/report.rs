@@ -2,9 +2,7 @@
 //! table, and CSV.
 
 use ecds_core::{FilterVariant, HeuristicKind};
-use ecds_stats::{
-    improvement_pct, mann_whitney_u, render_boxplots, CsvWriter, MarkdownTable,
-};
+use ecds_stats::{improvement_pct, mann_whitney_u, render_boxplots, CsvWriter, MarkdownTable};
 
 use crate::experiment::{CellResult, ExperimentGrid};
 
@@ -38,10 +36,8 @@ pub fn render_best_figure(grid: &ExperimentGrid) -> String {
 }
 
 fn render_cells(title: &str, cells: &[&CellResult]) -> String {
-    let series: Vec<(String, ecds_stats::BoxStats)> = cells
-        .iter()
-        .map(|c| (c.label(), c.stats()))
-        .collect();
+    let series: Vec<(String, ecds_stats::BoxStats)> =
+        cells.iter().map(|c| (c.label(), c.stats())).collect();
     let mut table = MarkdownTable::new(&[
         "variant", "median", "mean", "q1", "q3", "whisker-", "whisker+", "min", "max",
     ]);
@@ -110,11 +106,13 @@ pub fn render_headline_analysis(grid: &ExperimentGrid) -> String {
     // Random en+rob vs best LL — the "filters drive performance" point.
     if let (Some(rand), Some(ll)) = (
         grid.cell(HeuristicKind::Random, FilterVariant::EnergyAndRobustness),
-        grid.cell(HeuristicKind::LightestLoad, FilterVariant::EnergyAndRobustness),
+        grid.cell(
+            HeuristicKind::LightestLoad,
+            FilterVariant::EnergyAndRobustness,
+        ),
     ) {
         if ll.median_missed() > 0.0 {
-            let gap =
-                (rand.median_missed() - ll.median_missed()) / grid_window(grid) * 100.0;
+            let gap = (rand.median_missed() - ll.median_missed()) / grid_window(grid) * 100.0;
             out.push_str(&format!(
                 "- Random/en+rob is {gap:.1} window pts from LL/en+rob (paper: ~4%)\n"
             ));
@@ -181,7 +179,14 @@ pub fn render_kernel_summary(grid: &ExperimentGrid) -> String {
 /// (`heuristic,variant,trial,missed,energy,discarded`).
 pub fn grid_csv(grid: &ExperimentGrid) -> String {
     let mut csv = CsvWriter::new();
-    csv.write_row(&["heuristic", "variant", "trial", "missed", "energy", "discarded"]);
+    csv.write_row(&[
+        "heuristic",
+        "variant",
+        "trial",
+        "missed",
+        "energy",
+        "discarded",
+    ]);
     for cell in &grid.cells {
         for (trial, ((missed, energy), discarded)) in cell
             .missed

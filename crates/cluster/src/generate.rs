@@ -207,8 +207,8 @@ mod tests {
     fn exec_multipliers_step_15_to_25_percent() {
         for node in gen().nodes() {
             for w in PState::ALL.windows(2) {
-                let ratio = node.ladder.relative_performance(w[0])
-                    / node.ladder.relative_performance(w[1]);
+                let ratio =
+                    node.ladder.relative_performance(w[0]) / node.ladder.relative_performance(w[1]);
                 assert!((1.15..1.25).contains(&ratio), "step {ratio}");
             }
         }

@@ -34,7 +34,10 @@ impl NodeSpec {
         efficiency: f64,
     ) -> Self {
         assert!(processors >= 1, "node needs at least one processor");
-        assert!(cores_per_processor >= 1, "processor needs at least one core");
+        assert!(
+            cores_per_processor >= 1,
+            "processor needs at least one core"
+        );
         assert!(
             efficiency.is_finite() && efficiency > 0.0 && efficiency <= 1.0,
             "efficiency must be in (0, 1]"

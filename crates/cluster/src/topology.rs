@@ -110,12 +110,7 @@ impl Cluster {
         let total: f64 = self
             .nodes
             .iter()
-            .map(|n| {
-                PState::ALL
-                    .iter()
-                    .map(|&s| n.power.watts(s))
-                    .sum::<f64>()
-            })
+            .map(|n| PState::ALL.iter().map(|&s| n.power.watts(s)).sum::<f64>())
             .sum();
         total / (self.nodes.len() * NUM_PSTATES) as f64
     }

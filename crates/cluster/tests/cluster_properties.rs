@@ -7,15 +7,15 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = ClusterGenConfig> {
     (
-        1usize..6,              // nodes
-        1usize..4,              // processors lo
-        0usize..3,              // processors extra
-        1usize..4,              // cores lo
-        0usize..3,              // cores extra
-        0.10f64..0.20,          // perf step lo
-        0.01f64..0.10,          // perf step extra
-        100.0f64..140.0,        // peak lo
-        1.0f64..20.0,           // peak extra
+        1usize..6,       // nodes
+        1usize..4,       // processors lo
+        0usize..3,       // processors extra
+        1usize..4,       // cores lo
+        0usize..3,       // cores extra
+        0.10f64..0.20,   // perf step lo
+        0.01f64..0.10,   // perf step extra
+        100.0f64..140.0, // peak lo
+        1.0f64..20.0,    // peak extra
     )
         .prop_map(
             |(nodes, p_lo, p_extra, c_lo, c_extra, step_lo, step_extra, peak_lo, peak_extra)| {

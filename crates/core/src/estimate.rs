@@ -68,9 +68,7 @@ fn prefix_with_validity(
 
     let mut valid_until = f64::INFINITY;
     let mut acc: Option<Pmf> = state.executing().map(|exec| {
-        let mut completion = table
-            .pmf(exec.type_id, node, exec.pstate)
-            .shift(exec.start);
+        let mut completion = table.pmf(exec.type_id, node, exec.pstate).shift(exec.start);
         completion.truncate_below_or_floor_in_place(now);
         valid_until = completion.min_value();
         completion
@@ -394,8 +392,7 @@ impl CandidateEvaluator {
                 )
             }
             (None, _) => {
-                let completion =
-                    self.completion_pmf_with_prefix(view, task, core, pstate, prefix);
+                let completion = self.completion_pmf_with_prefix(view, task, core, pstate, prefix);
                 (completion.expectation(), completion.prob_le(task.deadline))
             }
         };
@@ -466,7 +463,9 @@ mod tests {
         let task = mk_task(&s, 100.0);
         let ev = CandidateEvaluator::default();
         let ct = ev.completion_pmf(&view, &task, 0, PState::P0);
-        let exec = s.table().pmf(task.type_id, s.cluster().core(0).node, PState::P0);
+        let exec = s
+            .table()
+            .pmf(task.type_id, s.cluster().core(0).node, PState::P0);
         assert!((ct.expectation() - (exec.expectation() + 100.0)).abs() < 1e-9);
     }
 
@@ -613,8 +612,12 @@ mod tests {
         });
         let view = SystemView::new(s.cluster(), s.table(), &cores, 5.0, 1, 60);
         let cached = ev.evaluate(&view, &task, 0, PState::P0);
-        let reference = CandidateEvaluator::uncached(ReductionPolicy::default())
-            .evaluate(&view, &task, 0, PState::P0);
+        let reference = CandidateEvaluator::uncached(ReductionPolicy::default()).evaluate(
+            &view,
+            &task,
+            0,
+            PState::P0,
+        );
         assert_eq!(ev.prefix_cache_stats(), Some((0, 2)), "mutation must miss");
         assert_eq!(cached, reference);
     }
@@ -641,8 +644,12 @@ mod tests {
         let at_t2 = ev.completion_pmf(&later, &task, 0, PState::P0);
         assert_eq!(ev.prefix_cache_stats(), Some((1, 1)));
         assert_eq!(at_t1, at_t2);
-        let reference = CandidateEvaluator::uncached(ReductionPolicy::default())
-            .completion_pmf(&later, &task, 0, PState::P0);
+        let reference = CandidateEvaluator::uncached(ReductionPolicy::default()).completion_pmf(
+            &later,
+            &task,
+            0,
+            PState::P0,
+        );
         assert_eq!(at_t2, reference);
     }
 
@@ -669,8 +676,12 @@ mod tests {
         let late = SystemView::new(s.cluster(), s.table(), &cores, late_t, 2, 60);
         let recomputed = ev.completion_pmf(&late, &task, 0, PState::P0);
         assert_eq!(ev.prefix_cache_stats(), Some((0, 2)));
-        let reference = CandidateEvaluator::uncached(ReductionPolicy::default())
-            .completion_pmf(&late, &task, 0, PState::P0);
+        let reference = CandidateEvaluator::uncached(ReductionPolicy::default()).completion_pmf(
+            &late,
+            &task,
+            0,
+            PState::P0,
+        );
         assert_eq!(recomputed, reference);
     }
 
@@ -687,7 +698,11 @@ mod tests {
         assert_eq!(ev.prefix_cache_stats(), Some((0, 0)));
         let _ = ev.evaluate_all(&view, &task);
         let n = s.cluster().total_cores() as u64;
-        assert_eq!(ev.prefix_cache_stats(), Some((0, n)), "entries were dropped");
+        assert_eq!(
+            ev.prefix_cache_stats(),
+            Some((0, n)),
+            "entries were dropped"
+        );
     }
 
     #[test]

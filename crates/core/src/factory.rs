@@ -109,18 +109,16 @@ impl std::fmt::Display for FilterVariant {
 
 /// Builds one heuristic instance; `trial` seeds Random's substream (derived
 /// from the scenario's master seed so whole grids reproduce from one u64).
-pub fn build_heuristic(
-    kind: HeuristicKind,
-    scenario: &Scenario,
-    trial: u64,
-) -> Box<dyn Heuristic> {
+pub fn build_heuristic(kind: HeuristicKind, scenario: &Scenario, trial: u64) -> Box<dyn Heuristic> {
     match kind {
         HeuristicKind::ShortestQueue => Box::new(ShortestQueue),
         HeuristicKind::Mect => Box::new(MinimumExpectedCompletionTime),
         HeuristicKind::LightestLoad => Box::new(LightestLoad),
-        HeuristicKind::Random => Box::new(RandomChoice::new(
-            scenario.seeds().seed(Stream::Heuristic, trial, 0),
-        )),
+        HeuristicKind::Random => Box::new(RandomChoice::new(scenario.seeds().seed(
+            Stream::Heuristic,
+            trial,
+            0,
+        ))),
     }
 }
 
@@ -147,7 +145,7 @@ pub fn build_scheduler(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ecds_sim::{Simulation};
+    use ecds_sim::Simulation;
 
     #[test]
     fn labels_match_figures() {
@@ -187,8 +185,7 @@ mod tests {
         let s = ecds_sim::Scenario::small_for_tests(19);
         let trace = s.trace(0);
         let run = |trial: u64| {
-            let mut sched =
-                build_scheduler(HeuristicKind::Random, FilterVariant::None, &s, trial);
+            let mut sched = build_scheduler(HeuristicKind::Random, FilterVariant::None, &s, trial);
             Simulation::new(&s, &trace).run(sched.as_mut())
         };
         assert_eq!(run(0).outcomes(), run(0).outcomes());

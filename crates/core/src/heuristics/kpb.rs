@@ -60,23 +60,18 @@ impl Heuristic for KPercentBest {
             candidates[a]
                 .est
                 .eet
-                .partial_cmp(&candidates[b].est.eet)
-                .expect("EET is finite")
+                .total_cmp(&candidates[b].est.eet)
                 .then(a.cmp(&b))
         });
         let shortlist = &by_eet[..keep];
         // Minimum ECT within the shortlist, ties by original order.
-        shortlist
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                candidates[a]
-                    .est
-                    .ect
-                    .partial_cmp(&candidates[b].est.ect)
-                    .expect("ECT is finite")
-                    .then(a.cmp(&b))
-            })
+        shortlist.iter().copied().min_by(|&a, &b| {
+            candidates[a]
+                .est
+                .ect
+                .total_cmp(&candidates[b].est.ect)
+                .then(a.cmp(&b))
+        })
     }
 }
 

@@ -66,7 +66,14 @@ pub(crate) mod testutil {
     use crate::estimate::AssignmentEstimate;
 
     /// Builds a candidate with the given quantities.
-    pub fn cand(core: usize, pstate: PState, eet: f64, ect: f64, eec: f64, rho: f64) -> EvaluatedCandidate {
+    pub fn cand(
+        core: usize,
+        pstate: PState,
+        eet: f64,
+        ect: f64,
+        eec: f64,
+        rho: f64,
+    ) -> EvaluatedCandidate {
         EvaluatedCandidate {
             core,
             pstate,

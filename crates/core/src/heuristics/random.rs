@@ -79,7 +79,7 @@ mod tests {
         let mut h = RandomChoice::new(1);
         let picks = choices(&mut h, 200);
         assert!(picks.iter().all(|&p| p < 4));
-        let distinct: std::collections::HashSet<_> = picks.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = picks.iter().collect();
         assert_eq!(distinct.len(), 4, "uniform choice should hit all options");
     }
 

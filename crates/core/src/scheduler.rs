@@ -69,7 +69,10 @@ impl Scheduler {
         budget: f64,
         policy: ReductionPolicy,
     ) -> Self {
-        assert!(budget > 0.0, "budget must be positive (use INFINITY to disable)");
+        assert!(
+            budget > 0.0,
+            "budget must be positive (use INFINITY to disable)"
+        );
         Self {
             heuristic,
             filters,
@@ -294,14 +297,20 @@ mod tests {
         )
         .with_prediction_recording();
         let result = Simulation::new(&s, &trace).run(&mut sched);
-        assert_eq!(sched.predictions().len(), result.window() - result.discarded());
+        assert_eq!(
+            sched.predictions().len(),
+            result.window() - result.discarded()
+        );
         for &(task, rho) in sched.predictions() {
             assert!(task.0 < result.window());
             assert!((0.0..=1.0).contains(&rho), "rho {rho} out of range");
         }
         // Recording resets per trial.
         let _ = Simulation::new(&s, &trace).run(&mut sched);
-        assert_eq!(sched.predictions().len(), result.window() - result.discarded());
+        assert_eq!(
+            sched.predictions().len(),
+            result.window() - result.discarded()
+        );
     }
 
     #[test]

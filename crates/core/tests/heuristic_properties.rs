@@ -3,12 +3,12 @@
 //! every filter must only ever shrink the set.
 
 use ecds_cluster::PState;
-use ecds_core::{
-    DeterministicMct, EnergyFilter, EvaluatedCandidate, Filter, FilterCtx, Heuristic,
-    KPercentBest, LightestLoad, MinimumExecutionTime, MinimumExpectedCompletionTime,
-    OpportunisticLoadBalancing, RandomChoice, RobustnessFilter, ShortestQueue,
-};
 use ecds_core::AssignmentEstimate;
+use ecds_core::{
+    DeterministicMct, EnergyFilter, EvaluatedCandidate, Filter, FilterCtx, Heuristic, KPercentBest,
+    LightestLoad, MinimumExecutionTime, MinimumExpectedCompletionTime, OpportunisticLoadBalancing,
+    RandomChoice, RobustnessFilter, ShortestQueue,
+};
 use ecds_sim::{CoreState, Scenario, SystemView};
 use ecds_workload::{Task, TaskId, TaskTypeId};
 use proptest::prelude::*;
@@ -42,10 +42,10 @@ fn arb_candidates() -> impl Strategy<Value = Vec<EvaluatedCandidate>> {
         (
             0..cores,
             0usize..5,
-            1.0f64..5000.0,  // eet
-            0.0f64..5000.0,  // queue delay (ect = eet + delay)
+            1.0f64..5000.0,    // eet
+            0.0f64..5000.0,    // queue delay (ect = eet + delay)
             1.0f64..500_000.0, // eec
-            0.0f64..1.0,     // rho
+            0.0f64..1.0,       // rho
         ),
         1..24,
     )

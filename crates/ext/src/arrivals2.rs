@@ -24,7 +24,10 @@ pub fn sinusoidal(
         "amplitude must be in [0, 1) so rates stay positive"
     );
     assert!(periods > 0.0, "periods must be positive");
-    assert!(phases >= 1 && count >= phases, "need at least one task per phase");
+    assert!(
+        phases >= 1 && count >= phases,
+        "need at least one task per phase"
+    );
     let per_phase = count / phases;
     let mut remainder = count % phases;
     let mut out = Vec::with_capacity(phases);
@@ -66,7 +69,10 @@ pub fn multi_burst(
 /// models gradually increasing (or draining) load.
 pub fn ramp(count: usize, start_rate: f64, end_rate: f64, phases: usize) -> BurstPattern {
     assert!(start_rate > 0.0 && end_rate > 0.0, "rates must be positive");
-    assert!(phases >= 1 && count >= phases, "need at least one task per phase");
+    assert!(
+        phases >= 1 && count >= phases,
+        "need at least one task per phase"
+    );
     let per_phase = count / phases;
     let mut remainder = count % phases;
     let mut out = Vec::with_capacity(phases);

@@ -118,8 +118,7 @@ impl BatchPolicy for BatchMaxRho {
                             None => true,
                             Some((b_rho, b_eec, ..)) => {
                                 rho > b_rho + self.rho_tolerance
-                                    || ((rho - b_rho).abs() <= self.rho_tolerance
-                                        && eec < b_eec)
+                                    || ((rho - b_rho).abs() <= self.rho_tolerance && eec < b_eec)
                             }
                         };
                         if better {
@@ -154,12 +153,7 @@ impl BatchPolicy for BatchEdf {
 
     fn dispatch(&mut self, pending: &[Task], view: &BatchView<'_>) -> Vec<Dispatch> {
         let mut by_deadline: Vec<usize> = (0..pending.len()).collect();
-        by_deadline.sort_by(|&a, &b| {
-            pending[a]
-                .deadline
-                .partial_cmp(&pending[b].deadline)
-                .expect("finite deadlines")
-        });
+        by_deadline.sort_by(|&a, &b| pending[a].deadline.total_cmp(&pending[b].deadline));
         let mut free: Vec<usize> = view.idle_cores.to_vec();
         let mut out = Vec::new();
         for task_index in by_deadline {
@@ -367,17 +361,16 @@ mod tests {
         let trace = s.trace(0);
         let r = run_batch(&s, &trace, &mut BatchEdf);
         // No two tasks on the same core may overlap in time.
-        let mut per_core: std::collections::HashMap<usize, Vec<(f64, f64)>> =
-            std::collections::HashMap::new();
+        let mut per_core: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
         for o in r.outcomes() {
-            if let (Some((core, _)), Some(start), Some(end)) =
-                (o.assignment, o.start, o.completion)
+            if let (Some((core, _)), Some(start), Some(end)) = (o.assignment, o.start, o.completion)
             {
                 per_core.entry(core).or_default().push((start, end));
             }
         }
         for (core, mut spans) in per_core {
-            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in spans.windows(2) {
                 assert!(w[0].1 <= w[1].0 + 1e-9, "core {core} overlapped");
             }

@@ -36,8 +36,7 @@ impl CancellationReport {
         let mut base_mapper = build_mapper();
         let baseline = Simulation::new(scenario, trace).run(base_mapper.as_mut());
         let mut cancel_mapper = build_mapper();
-        let cancelling =
-            Simulation::new(&cancelling_scenario, trace).run(cancel_mapper.as_mut());
+        let cancelling = Simulation::new(&cancelling_scenario, trace).run(cancel_mapper.as_mut());
         Self {
             baseline,
             cancelling,
@@ -70,12 +69,7 @@ mod tests {
         let scenario = Scenario::small_for_tests(42).with_budget_factor(budget_factor);
         let trace = scenario.trace(0);
         CancellationReport::run(&scenario, &trace, || {
-            build_scheduler(
-                HeuristicKind::Mect,
-                FilterVariant::None,
-                &scenario,
-                0,
-            )
+            build_scheduler(HeuristicKind::Mect, FilterVariant::None, &scenario, 0)
         })
     }
 

@@ -58,12 +58,7 @@ impl StochasticPowerModel {
     }
 
     /// Draws one realized power value.
-    pub fn sample_watts<R: Rng + ?Sized>(
-        &self,
-        node: usize,
-        state: PState,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn sample_watts<R: Rng + ?Sized>(&self, node: usize, state: PState, rng: &mut R) -> f64 {
         self.laws[node][state.index()].sample(rng)
     }
 }

@@ -1,0 +1,99 @@
+//! Diagnostic types shared by the rule implementations, the allowlist, and
+//! the reporters.
+
+use std::fmt;
+
+/// The four enforced invariants (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// R1: every public `&mut self` method on an epoch-guarded type must
+    /// bump `self.epoch`.
+    EpochDiscipline,
+    /// R2: no nondeterministic collections, wall-clock reads, or OS
+    /// entropy in result-affecting crates.
+    Determinism,
+    /// R3: no raw float equality or `partial_cmp(..).unwrap()` — use
+    /// `total_cmp` and explicit tolerances.
+    FloatDiscipline,
+    /// R4: no `unwrap`/`expect`/`panic!` in non-test library code unless
+    /// audited and allowlisted.
+    PanicDiscipline,
+}
+
+impl RuleId {
+    /// The stable identifier used in `lint.toml`, CLI output, and
+    /// `results/LINT.json`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleId::EpochDiscipline => "R1-epoch",
+            RuleId::Determinism => "R2-determinism",
+            RuleId::FloatDiscipline => "R3-float",
+            RuleId::PanicDiscipline => "R4-panic",
+        }
+    }
+
+    /// Parses the stable identifier (for allowlist entries).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "R1-epoch" => Some(RuleId::EpochDiscipline),
+            "R2-determinism" => Some(RuleId::Determinism),
+            "R3-float" => Some(RuleId::FloatDiscipline),
+            "R4-panic" => Some(RuleId::PanicDiscipline),
+            _ => None,
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [RuleId; 4] {
+        [
+            RuleId::EpochDiscipline,
+            RuleId::Determinism,
+            RuleId::FloatDiscipline,
+            RuleId::PanicDiscipline,
+        ]
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which invariant was violated.
+    pub rule: RuleId,
+    /// Workspace-relative path with forward slashes
+    /// (`crates/sim/src/state.rs`).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 0-based column of the offending token.
+    pub column: usize,
+    /// The trimmed source line, for context and allowlist matching.
+    pub snippet: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+    /// `Some(reason)` when an allowlist entry covers this diagnostic.
+    pub allowed: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{} {} {}",
+            self.file, self.line, self.column, self.rule, self.message
+        )?;
+        writeln!(f, "    | {}", self.snippet)?;
+        write!(f, "    = suggestion: {}", self.suggestion)?;
+        if let Some(reason) = &self.allowed {
+            write!(f, "\n    = allowed: {reason}")?;
+        }
+        Ok(())
+    }
+}

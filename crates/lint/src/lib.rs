@@ -1,0 +1,44 @@
+//! `ecds-lint` — the workspace static-analysis pass that mechanically
+//! enforces the determinism, epoch, and float invariants the results
+//! depend on (DESIGN.md §9).
+//!
+//! Every correctness argument this reproduction ships rests on invariants
+//! that used to live only in doc comments: the PR-1 prefix cache is sound
+//! only if every [`CoreState`] mutator bumps the epoch; `results/` is
+//! byte-stable only if no nondeterministic iteration order, wall clock, or
+//! OS entropy reaches a result-affecting crate; comparison-driven branches
+//! replay identically only if float ordering goes through `total_cmp`
+//! rather than NaN-panicking `partial_cmp(..).unwrap()` chains. This crate
+//! checks those properties on every CI run:
+//!
+//! - **R1 epoch-discipline** ([`rules`]): public `&mut self` methods on
+//!   epoch-guarded types must bump `self.epoch`.
+//! - **R2 determinism**: `HashMap`/`HashSet`, `SystemTime`/`Instant`,
+//!   `thread_rng`/`from_entropy`/`OsRng` are banned in result-affecting
+//!   crates outside `#[cfg(test)]`.
+//! - **R3 float-discipline**: `.partial_cmp(..).unwrap()` and float
+//!   equality literals are flagged; `total_cmp` is the approved order.
+//! - **R4 panic-discipline**: `unwrap`/`expect`/`panic!` in non-test
+//!   library code must be audited and allowlisted with a rationale.
+//!
+//! Violations can be excused in `lint.toml` (see [`allowlist`]); an entry
+//! that stops matching code is itself an error, so the allowlist can only
+//! shrink with the code it excuses. The parsing stack is the vendored
+//! `proc-macro2` + `syn` subset — the same offline-vendoring pattern as
+//! `rand`/`proptest`/`criterion`.
+//!
+//! [`CoreState`]: https://docs.rs/ecds-sim
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+pub use allowlist::{AllowEntry, Allowlist};
+pub use diag::{Diagnostic, RuleId};
+pub use engine::{find_root, run_workspace, RunResult};

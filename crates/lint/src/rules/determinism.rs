@@ -1,0 +1,217 @@
+//! R2 determinism: result-affecting crates must not use nondeterministic
+//! iteration order, wall-clock reads, or OS entropy.
+//!
+//! The `results/` tree is asserted byte-identical across reruns, machines,
+//! and thread counts; every grid number in `results/grid.csv` and every
+//! claim in EXPERIMENTS.md depends on it. `HashMap`/`HashSet` iteration
+//! order is randomized per process (SipHash keys from OS entropy), so any
+//! iteration that reaches an outcome, an accumulation order (float
+//! reduction is non-associative), or a report line breaks byte-stability.
+//! Wall-clock reads (`SystemTime::now`, `Instant::now`) and entropy-seeded
+//! RNGs (`thread_rng`, `from_entropy`, `OsRng`) are nondeterministic by
+//! construction; all simulation randomness must flow from the vendored
+//! xoshiro `StdRng` seeded with explicit trial seeds.
+//!
+//! `#[cfg(test)]` regions and `tests/` / `benches/` files are exempt:
+//! test-only iteration cannot reach `results/`.
+
+use proc_macro2::TokenTree;
+use syn::Item;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::rules::RESULT_AFFECTING_CRATES;
+use crate::scan::for_each_sibling_run;
+use crate::source::{Role, SourceFile};
+
+/// Banned identifier → (what is wrong, what to use instead).
+const BANNED: &[(&str, &str, &str)] = &[
+    (
+        "HashMap",
+        "nondeterministic iteration order in a result-affecting crate",
+        "use BTreeMap (deterministic key order) or a Vec keyed by dense indices",
+    ),
+    (
+        "HashSet",
+        "nondeterministic iteration order in a result-affecting crate",
+        "use BTreeSet (deterministic order) or a sorted Vec",
+    ),
+    (
+        "RandomState",
+        "per-process random hasher state in a result-affecting crate",
+        "use BTree collections or a fixed, documented hasher",
+    ),
+    (
+        "SystemTime",
+        "wall-clock read in a result-affecting crate",
+        "thread simulated Time through the call instead of reading the OS clock",
+    ),
+    (
+        "Instant",
+        "wall-clock read in a result-affecting crate",
+        "move timing to crates/bench; simulation code must be replayable",
+    ),
+    (
+        "thread_rng",
+        "OS-entropy RNG in a result-affecting crate",
+        "use the vendored StdRng::seed_from_u64 with an explicit trial seed",
+    ),
+    (
+        "from_entropy",
+        "OS-entropy RNG seeding in a result-affecting crate",
+        "use the vendored StdRng::seed_from_u64 with an explicit trial seed",
+    ),
+    (
+        "OsRng",
+        "OS-entropy RNG in a result-affecting crate",
+        "use the vendored StdRng::seed_from_u64 with an explicit trial seed",
+    ),
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !RESULT_AFFECTING_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    if !matches!(file.role, Role::Lib | Role::Bin) {
+        return;
+    }
+    file.walk_items(&mut |item, in_test| {
+        if in_test {
+            return;
+        }
+        let scan = |tokens: &[TokenTree], out: &mut Vec<Diagnostic>| {
+            scan_banned(file, tokens, out);
+        };
+        match item {
+            Item::Fn(f) => {
+                scan(f.sig.inputs.tokens(), out);
+                scan(f.sig.output.tokens(), out);
+                if let Some(body) = &f.body {
+                    scan(body.tokens(), out);
+                }
+            }
+            Item::Use(u) => scan(u.tree.tokens(), out),
+            Item::Verbatim(v) => scan(v.tokens.tokens(), out),
+            // Mod/Impl contents are visited as their own items.
+            Item::Mod(_) | Item::Impl(_) => {}
+        }
+    });
+}
+
+fn scan_banned(file: &SourceFile, tokens: &[TokenTree], out: &mut Vec<Diagnostic>) {
+    for_each_sibling_run(tokens, &mut |run| {
+        for t in run {
+            let TokenTree::Ident(ident) = t else { continue };
+            let Some((name, problem, fix)) =
+                BANNED.iter().find(|(name, _, _)| ident.as_str() == *name)
+            else {
+                continue;
+            };
+            let start = t.span().start();
+            out.push(Diagnostic {
+                rule: RuleId::Determinism,
+                file: file.rel_path.clone(),
+                line: start.line,
+                column: start.column,
+                snippet: file.line_text(start.line).to_string(),
+                message: format!("`{name}`: {problem}"),
+                suggestion: fix.to_string(),
+                allowed: None,
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(path, src).unwrap();
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_in_core_lib_code_is_flagged() {
+        let out = diags(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\n\
+             pub fn f() -> HashMap<u32, u32> { HashMap::new() }",
+        );
+        assert_eq!(out.len(), 3); // the use, the return type, the call
+        assert!(out[0].message.contains("HashMap"));
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "pub fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 use std::collections::HashSet;\n\
+                 fn t() { let _ = HashSet::<u32>::new(); }\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_result_affecting_crates_are_exempt() {
+        let out = diags(
+            "crates/bench/src/x.rs",
+            "use std::time::Instant;\n\
+             pub fn now() -> Instant { Instant::now() }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_are_flagged() {
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "pub fn bad(seed: u64) {\n\
+                 let _t = std::time::Instant::now();\n\
+                 let _w = std::time::SystemTime::now();\n\
+                 let _r = rand::thread_rng();\n\
+             }",
+        );
+        let names: Vec<&str> = out
+            .iter()
+            .map(|d| {
+                if d.message.contains("Instant") {
+                    "Instant"
+                } else if d.message.contains("SystemTime") {
+                    "SystemTime"
+                } else {
+                    "thread_rng"
+                }
+            })
+            .collect();
+        assert_eq!(names, vec!["Instant", "SystemTime", "thread_rng"]);
+    }
+
+    #[test]
+    fn struct_fields_and_consts_are_scanned() {
+        let out = diags(
+            "crates/ext/src/x.rs",
+            "pub struct Index {\n\
+                 map: std::collections::HashMap<u32, u32>,\n\
+             }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn tests_dir_files_are_exempt() {
+        let out = diags(
+            "crates/sim/tests/props.rs",
+            "use std::collections::HashMap;\nfn f() { let _: HashMap<u8, u8>; }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,193 @@
+//! R1 epoch-discipline: every public `&mut self` method on an
+//! epoch-guarded type must bump `self.epoch`.
+//!
+//! The PR-1 queue-prefix pmf cache keys its entries on
+//! [`CoreState::epoch`]: two observations with equal epochs are assumed to
+//! have seen identical executing/queued state, so a mutator that forgets
+//! to bump the epoch silently serves stale cached prefixes and corrupts
+//! every downstream robustness number. `CoreState` is always guarded; any
+//! other type can opt in with a `// lint: epoch-guarded` marker comment
+//! above its declaration.
+//!
+//! The check is syntactic: the method body must contain a literal
+//! `self.epoch += 1` (at any nesting depth). Methods that legitimately
+//! mutate without bumping — there are none today — must be allowlisted
+//! with a rationale. Conditional bumps (as in `pop_queued`, which only
+//! mutates when the queue is non-empty) satisfy the rule because the bump
+//! exists on the mutating path; the rule deliberately does not attempt
+//! path-sensitive dataflow.
+
+use proc_macro2::TokenTree;
+use syn::{Item, ItemImpl, Visibility};
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::scan::{for_each_sibling_run, is_ident, is_punct};
+use crate::source::SourceFile;
+
+/// Types guarded in every file, marker or no marker.
+const ALWAYS_GUARDED: &[&str] = &["CoreState"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    file.walk_items(&mut |item, in_test| {
+        if in_test {
+            return;
+        }
+        let Item::Impl(imp) = item else {
+            return;
+        };
+        if imp.trait_path.is_some() {
+            return; // trait impls don't define the mutation surface
+        }
+        let guarded = ALWAYS_GUARDED.contains(&imp.self_ty.as_str())
+            || file.epoch_guarded.contains(&imp.self_ty);
+        if guarded {
+            check_impl(file, imp, out);
+        }
+    });
+}
+
+fn check_impl(file: &SourceFile, imp: &ItemImpl, out: &mut Vec<Diagnostic>) {
+    for member in &imp.items {
+        let Item::Fn(f) = member else { continue };
+        if f.vis != Visibility::Public {
+            continue;
+        }
+        let Some(recv) = f.sig.receiver else { continue };
+        if !(recv.reference && recv.mutable) {
+            continue;
+        }
+        let bumps = f
+            .body
+            .as_ref()
+            .is_some_and(|body| contains_epoch_bump(body.tokens()));
+        if !bumps {
+            let start = f.sig.span.start();
+            out.push(Diagnostic {
+                rule: RuleId::EpochDiscipline,
+                file: file.rel_path.clone(),
+                line: start.line,
+                column: start.column,
+                snippet: file.line_text(start.line).to_string(),
+                message: format!(
+                    "pub fn {}(&mut self) on epoch-guarded type `{}` never bumps `self.epoch`",
+                    f.sig.ident, imp.self_ty
+                ),
+                suggestion: "add `self.epoch += 1;` on the mutating path, or allowlist the \
+                             method in lint.toml with a rationale if it provably cannot \
+                             change observable state"
+                    .to_string(),
+                allowed: None,
+            });
+        }
+    }
+}
+
+/// Whether the body contains `self.epoch += 1` at any nesting depth.
+fn contains_epoch_bump(tokens: &[TokenTree]) -> bool {
+    let mut found = false;
+    for_each_sibling_run(tokens, &mut |run| {
+        if found {
+            return;
+        }
+        for w in run.windows(6) {
+            if is_ident(&w[0], "self")
+                && is_punct(&w[1], '.')
+                && is_ident(&w[2], "epoch")
+                && is_punct(&w[3], '+')
+                && is_punct(&w[4], '=')
+                && matches!(&w[5], TokenTree::Literal(l) if l.to_string() == "1")
+            {
+                found = true;
+                return;
+            }
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("crates/sim/src/state.rs", src).unwrap();
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn mutator_without_bump_is_flagged() {
+        let out = diags(
+            "impl CoreState {\n\
+                 pub fn enqueue(&mut self, x: u32) { self.queued.push(x); }\n\
+             }",
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("enqueue"));
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn mutator_with_bump_passes_even_conditionally() {
+        let out = diags(
+            "impl CoreState {\n\
+                 pub fn enqueue(&mut self, x: u32) { self.queued.push(x); self.epoch += 1; }\n\
+                 pub fn pop(&mut self) -> Option<u32> {\n\
+                     let p = self.queued.pop();\n\
+                     if p.is_some() { self.epoch += 1; }\n\
+                     p\n\
+                 }\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn readers_value_receivers_and_private_methods_are_exempt() {
+        let out = diags(
+            "impl CoreState {\n\
+                 pub fn depth(&self) -> usize { 0 }\n\
+                 pub fn into_inner(self) -> u64 { self.epoch }\n\
+                 fn internal(&mut self) {}\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn marker_comment_extends_the_guarded_set() {
+        let src = "\
+// lint: epoch-guarded
+pub struct Tracked { epoch: u64 }
+
+impl Tracked {
+    pub fn touch(&mut self) {}
+}
+
+impl CoreState {
+    pub fn fine(&mut self) { self.epoch += 1; }
+}
+";
+        let out = diags(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Tracked"));
+    }
+
+    #[test]
+    fn trait_impls_and_test_impls_are_ignored() {
+        let out = diags(
+            "impl Clone for CoreState {\n\
+                 fn clone(&self) -> Self { todo!() }\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 impl CoreState {\n\
+                     pub fn poke(&mut self) {}\n\
+                 }\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,218 @@
+//! R3 float-discipline: no raw float equality, no
+//! `partial_cmp(..).unwrap()` chains.
+//!
+//! Impulse reduction is non-associative, so every comparison-driven branch
+//! in the pmf pipeline must order floats identically on every platform and
+//! in every rerun. Two patterns undermine that:
+//!
+//! - **`.partial_cmp(x).unwrap()` / `.expect(...)`** — panics on NaN and
+//!   hides the decision of how incomparable values order. `f64::total_cmp`
+//!   is the approved helper: total, NaN-safe, and explicit.
+//! - **`==` / `!=` with a float operand** — almost always a bug when the
+//!   operand was computed (rounding breaks the comparison); the rare
+//!   legitimate uses compare against an exact sentinel that was *stored*,
+//!   never computed, and must be allowlisted with that rationale.
+//!
+//! The equality check is a heuristic: without type inference it flags
+//! comparisons where either operand token is a float *literal* (`x ==
+//! 0.0`). Computed-float comparisons with no literal operand are beyond a
+//! syntactic pass; clippy's `float_cmp` complements this rule in-editor.
+//!
+//! The `partial_cmp` pattern is checked everywhere, including tests and
+//! benches — a test that panics on NaN is as wrong as library code. The
+//! equality heuristic skips test regions, where exact comparison against a
+//! literal is often the point of the assertion.
+
+use proc_macro2::TokenTree;
+use syn::Item;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::scan::{for_each_sibling_run, is_float_literal, is_ident, is_punct, operator_runs};
+use crate::source::SourceFile;
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    file.walk_items(&mut |item, in_test| {
+        let scan = |tokens: &[TokenTree], out: &mut Vec<Diagnostic>| {
+            for_each_sibling_run(tokens, &mut |run| {
+                scan_partial_cmp_unwrap(file, run, out);
+                if !in_test {
+                    scan_float_eq(file, run, out);
+                }
+            });
+        };
+        match item {
+            Item::Fn(f) => {
+                if let Some(body) = &f.body {
+                    scan(body.tokens(), out);
+                }
+            }
+            Item::Verbatim(v) => scan(v.tokens.tokens(), out),
+            Item::Use(_) | Item::Mod(_) | Item::Impl(_) => {}
+        }
+    });
+}
+
+/// Flags `.partial_cmp(args).unwrap()` and `.partial_cmp(args).expect(..)`
+/// method chains. Definitions of `fn partial_cmp` and bare
+/// `.partial_cmp(x)` calls (whose `Option` is handled) are not flagged.
+fn scan_partial_cmp_unwrap(file: &SourceFile, run: &[TokenTree], out: &mut Vec<Diagnostic>) {
+    for i in 0..run.len() {
+        if !is_ident(&run[i], "partial_cmp") {
+            continue;
+        }
+        // Must be a method call: preceded by `.`, followed by `(args)`.
+        let preceded_by_dot = i > 0 && is_punct(&run[i - 1], '.');
+        let called = matches!(
+            run.get(i + 1),
+            Some(TokenTree::Group(g)) if g.delimiter() == proc_macro2::Delimiter::Parenthesis
+        );
+        if !preceded_by_dot || !called {
+            continue;
+        }
+        let unwrapped = is_punct_at(run, i + 2, '.')
+            && matches!(
+                run.get(i + 3),
+                Some(TokenTree::Ident(id)) if id.as_str() == "unwrap" || id.as_str() == "expect"
+            );
+        if !unwrapped {
+            continue;
+        }
+        let start = run[i].span().start();
+        out.push(Diagnostic {
+            rule: RuleId::FloatDiscipline,
+            file: file.rel_path.clone(),
+            line: start.line,
+            column: start.column,
+            snippet: file.line_text(start.line).to_string(),
+            message: "`.partial_cmp(..).unwrap()` panics on NaN and hides the ordering decision"
+                .to_string(),
+            suggestion: "use `a.total_cmp(&b)` — the approved total, NaN-safe float order"
+                .to_string(),
+            allowed: None,
+        });
+    }
+}
+
+fn is_punct_at(run: &[TokenTree], i: usize, ch: char) -> bool {
+    run.get(i).is_some_and(|t| is_punct(t, ch))
+}
+
+/// Flags `==` / `!=` where either adjacent operand token is a float
+/// literal.
+fn scan_float_eq(file: &SourceFile, run: &[TokenTree], out: &mut Vec<Diagnostic>) {
+    for op in operator_runs(run) {
+        if op.op != "==" && op.op != "!=" {
+            continue;
+        }
+        let before_is_float = op.start > 0
+            && matches!(&run[op.start - 1], TokenTree::Literal(l) if is_float_literal(&l.to_string()));
+        let after_is_float = matches!(
+            run.get(op.end),
+            Some(TokenTree::Literal(l)) if is_float_literal(&l.to_string())
+        );
+        if !(before_is_float || after_is_float) {
+            continue;
+        }
+        let start = run[op.start].span().start();
+        out.push(Diagnostic {
+            rule: RuleId::FloatDiscipline,
+            file: file.rel_path.clone(),
+            line: start.line,
+            column: start.column,
+            snippet: file.line_text(start.line).to_string(),
+            message: format!("`{}` compares floats exactly", op.op),
+            suggestion: "compare with an explicit tolerance, or allowlist with the rationale \
+                         that the operand is an exact stored sentinel, never computed"
+                .to_string(),
+            allowed: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(path, src).unwrap();
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_and_expect_are_flagged() {
+        let out = diags(
+            "crates/pmf/src/x.rs",
+            "pub fn sortit(xs: &mut Vec<f64>) {\n\
+                 xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                 xs.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));\n\
+             }",
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].line, out[1].line), (2, 3));
+        assert!(out[0].suggestion.contains("total_cmp"));
+    }
+
+    #[test]
+    fn total_cmp_and_handled_partial_cmp_pass() {
+        let out = diags(
+            "crates/pmf/src/x.rs",
+            "pub fn sortit(xs: &mut Vec<f64>) {\n\
+                 xs.sort_by(|a, b| a.total_cmp(b));\n\
+             }\n\
+             pub fn tri(a: f64, b: f64) -> Option<std::cmp::Ordering> {\n\
+                 a.partial_cmp(&b)\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn fn_partial_cmp_definitions_are_not_flagged() {
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "impl PartialOrd for E {\n\
+                 fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n\
+                     Some(self.cmp(other))\n\
+                 }\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn float_equality_is_flagged_on_either_side() {
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "pub fn f(x: f64) -> bool { x == 0.0 }\n\
+             pub fn g(x: f64) -> bool { 1.0 != x }",
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("=="));
+        assert!(out[1].message.contains("!="));
+    }
+
+    #[test]
+    fn integer_equality_and_le_ge_pass() {
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "pub fn f(x: u32, y: f64) -> bool { x == 0 && y <= 1.0 && y >= 0.0 }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn float_equality_in_tests_is_tolerated_but_partial_cmp_is_not() {
+        let out = diags(
+            "crates/sim/tests/t.rs",
+            "fn t(xs: &mut Vec<f64>) {\n\
+                 assert!(xs[0] == 1.0);\n\
+                 xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! The rule implementations. Each rule is a function from a parsed
+//! [`SourceFile`] to zero or more
+//! [`Diagnostic`]s; scoping (which crates, which
+//! roles, test vs. non-test regions) lives inside each rule so the engine
+//! can run all rules over every file unconditionally.
+
+mod determinism;
+mod epoch;
+mod float;
+mod panic;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Crates whose code can reach `results/` bytes: the pmf arithmetic, the
+/// cluster/workload models, the mapper, the engine, the extensions, and
+/// the statistics that format the report. Nondeterminism in any of these
+/// invalidates the reproduction's byte-stability argument (DESIGN.md §9).
+pub const RESULT_AFFECTING_CRATES: &[&str] = &[
+    "pmf", "cluster", "workload", "core", "sim", "ext", "stats", "ecds",
+];
+
+/// Library crates subject to the panic-discipline rule. The `bench`
+/// driver binaries and the linter itself are tools, not library surface.
+pub const PANIC_SCOPE_CRATES: &[&str] = &[
+    "pmf", "cluster", "workload", "core", "sim", "ext", "stats", "ecds",
+];
+
+/// Runs every rule over one file, appending diagnostics.
+pub fn check_all(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    epoch::check(file, out);
+    determinism::check(file, out);
+    float::check(file, out);
+    panic::check(file, out);
+}

@@ -1,0 +1,167 @@
+//! R4 panic-discipline: no `unwrap`/`expect`/`panic!` in non-test library
+//! code unless audited and allowlisted.
+//!
+//! Library crates are driven by the bench harness over thousands of
+//! trials, including `run_parallel` workers whose panics are caught,
+//! drained, and re-raised; a stray `unwrap` deep in the pmf pipeline turns
+//! a representable error (an empty pmf, a saturated queue) into an abort
+//! of the whole grid. Every panic site in library code must therefore be
+//! either converted to a `Result`/`Option` flow or audited: the allowlist
+//! entry's `reason` documents the invariant that makes the panic
+//! unreachable, and the lint prints it alongside the site.
+//!
+//! `#[cfg(test)]` regions, `tests/`, and `benches/` are exempt — panicking
+//! is how tests fail. Driver binaries (`crates/bench`) are exempt by
+//! scope: a CLI aborting on a broken invariant is the desired behavior.
+
+use proc_macro2::{Delimiter, TokenTree};
+use syn::Item;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::rules::PANIC_SCOPE_CRATES;
+use crate::scan::{for_each_sibling_run, is_punct};
+use crate::source::{Role, SourceFile};
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !PANIC_SCOPE_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    if file.role != Role::Lib {
+        return;
+    }
+    file.walk_items(&mut |item, in_test| {
+        if in_test {
+            return;
+        }
+        let scan = |tokens: &[TokenTree], out: &mut Vec<Diagnostic>| {
+            for_each_sibling_run(tokens, &mut |run| scan_run(file, run, out));
+        };
+        match item {
+            Item::Fn(f) => {
+                if let Some(body) = &f.body {
+                    scan(body.tokens(), out);
+                }
+            }
+            Item::Verbatim(v) => scan(v.tokens.tokens(), out),
+            Item::Use(_) | Item::Mod(_) | Item::Impl(_) => {}
+        }
+    });
+}
+
+fn scan_run(file: &SourceFile, run: &[TokenTree], out: &mut Vec<Diagnostic>) {
+    for (i, t) in run.iter().enumerate() {
+        let TokenTree::Ident(ident) = t else { continue };
+        let name = ident.as_str();
+        let flagged = match name {
+            // `.unwrap()` / `.expect(..)` method calls, or `Option::unwrap`
+            // path references passed as functions.
+            "unwrap" | "expect" => {
+                let preceded = i > 0 && (is_punct(&run[i - 1], '.') || is_punct(&run[i - 1], ':'));
+                let called_or_referenced = matches!(
+                    run.get(i + 1),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) || i + 1 == run.len()
+                    || !matches!(run.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':');
+                preceded && called_or_referenced
+            }
+            // `panic!(..)` macro invocations.
+            "panic" => run.get(i + 1).is_some_and(|n| is_punct(n, '!')),
+            _ => false,
+        };
+        if !flagged {
+            continue;
+        }
+        let start = t.span().start();
+        out.push(Diagnostic {
+            rule: RuleId::PanicDiscipline,
+            file: file.rel_path.clone(),
+            line: start.line,
+            column: start.column,
+            snippet: file.line_text(start.line).to_string(),
+            message: format!("`{name}` in non-test library code can abort a whole trial grid"),
+            suggestion: "return a Result/Option, or allowlist in lint.toml with the invariant \
+                         that makes this site unreachable"
+                .to_string(),
+            allowed: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(path, src).unwrap();
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_are_flagged() {
+        let out = diags(
+            "crates/pmf/src/x.rs",
+            "pub fn f(x: Option<u32>) -> u32 {\n\
+                 let a = x.unwrap();\n\
+                 let b = x.expect(\"present\");\n\
+                 if a != b { panic!(\"mismatch\"); }\n\
+                 a\n\
+             }",
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_variants_pass() {
+        let out = diags(
+            "crates/pmf/src/x.rs",
+            "pub fn f(x: Option<u32>) -> u32 {\n\
+                 x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_regions_and_test_files_pass() {
+        let out_mod = diags(
+            "crates/pmf/src/x.rs",
+            "#[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+             }",
+        );
+        let out_file = diags("crates/pmf/tests/t.rs", "fn t() { Some(1).unwrap(); }");
+        assert!(out_mod.is_empty(), "{out_mod:?}");
+        assert!(out_file.is_empty(), "{out_file:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_pass() {
+        let out = diags(
+            "crates/bench/src/x.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn fields_named_expect_do_not_confuse_the_rule() {
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "pub struct S { unwrap: bool }\n\
+             pub fn f(s: &S) -> bool { s.unwrap }",
+        );
+        // Field access `s.unwrap` is preceded by `.` and not followed by
+        // `(`: treated as a reference and flagged conservatively — rename
+        // the field or allowlist. Documented sharp edge.
+        assert_eq!(out.len(), 1);
+    }
+}

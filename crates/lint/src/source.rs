@@ -1,0 +1,259 @@
+//! The per-file source model the rules operate on: workspace-relative
+//! location, crate classification, raw text (for snippets and `// lint:`
+//! markers), and the parsed item tree with test-region classification.
+
+use std::path::Path;
+
+use syn::{Attribute, Item};
+
+/// Where a file sits inside its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Under `src/`, excluding `src/bin/` — library code.
+    Lib,
+    /// Under `src/bin/` — binary entry points.
+    Bin,
+    /// Under `tests/` — integration test code.
+    Test,
+    /// Under `benches/` — benchmark code.
+    Bench,
+}
+
+/// A parsed workspace source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// The crate directory name under `crates/` (`sim`, `pmf`, ...), or
+    /// the top-level directory (`tests`, `examples`) for non-crate files.
+    pub crate_name: String,
+    /// Library, binary, test, or bench code.
+    pub role: Role,
+    /// The raw source lines (for diagnostics and marker scanning).
+    pub lines: Vec<String>,
+    /// The parsed item tree.
+    pub ast: syn::File,
+    /// Type names annotated `// lint: epoch-guarded` in this file.
+    pub epoch_guarded: Vec<String>,
+}
+
+impl SourceFile {
+    /// Parses `text` as the file at `rel_path`. Returns the parse error
+    /// message on failure so the engine can refuse to certify the file.
+    pub fn parse(rel_path: &str, text: &str) -> Result<SourceFile, String> {
+        let ast = syn::parse_file(text).map_err(|e| e.to_string())?;
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let (crate_name, role) = classify(rel_path);
+        let epoch_guarded = scan_epoch_markers(&lines);
+        Ok(SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            role,
+            lines,
+            ast,
+            epoch_guarded,
+        })
+    }
+
+    /// The trimmed text of a 1-based source line.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// Visits every item recursively (entering mods and impls), calling
+    /// `visit` with the item and whether any enclosing scope — the file
+    /// role or a `#[cfg(test)]` / `#[test]` attribute — marks it as test
+    /// code.
+    pub fn walk_items(&self, visit: &mut dyn FnMut(&Item, bool)) {
+        let file_is_test = self.role == Role::Test;
+        for item in &self.ast.items {
+            walk_item(item, file_is_test, visit);
+        }
+    }
+}
+
+fn walk_item(item: &Item, inherited_test: bool, visit: &mut dyn FnMut(&Item, bool)) {
+    let in_test = inherited_test || attrs_mark_test(item.attrs());
+    visit(item, in_test);
+    match item {
+        Item::Mod(m) => {
+            if let Some(content) = &m.content {
+                for child in content {
+                    walk_item(child, in_test, visit);
+                }
+            }
+        }
+        Item::Impl(i) => {
+            for child in &i.items {
+                walk_item(child, in_test, visit);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Whether an attribute list marks its item as test-only: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, ...))]`, or `#[cfg_attr(test, ...)]`
+/// gates.
+fn attrs_mark_test(attrs: &[Attribute]) -> bool {
+    attrs.iter().any(|a| {
+        a.path == "test"
+            || a.path.ends_with("::test")
+            || (a.path == "cfg" && a.contains_word("test"))
+    })
+}
+
+/// Splits a workspace-relative path into (crate name, role).
+fn classify(rel_path: &str) -> (String, Role) {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, rest) = if parts.len() >= 3 && parts[0] == "crates" {
+        (parts[1].to_string(), &parts[2..])
+    } else {
+        (
+            parts.first().copied().unwrap_or("").to_string(),
+            &parts[1..],
+        )
+    };
+    let role = match rest.first().copied() {
+        Some("src") => {
+            if rest.get(1).copied() == Some("bin") {
+                Role::Bin
+            } else {
+                Role::Lib
+            }
+        }
+        Some("tests") => Role::Test,
+        Some("benches") => Role::Bench,
+        // Workspace-level `tests/` files arrive as ["tests", "x.rs"].
+        _ if crate_name == "tests" => Role::Test,
+        _ => Role::Lib,
+    };
+    (crate_name, role)
+}
+
+/// Finds `// lint: epoch-guarded` markers and resolves each to the type
+/// named by the next `struct`/`enum`/`impl` line.
+fn scan_epoch_markers(lines: &[String]) -> Vec<String> {
+    let mut guarded = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("//") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(kind) = rest.strip_prefix("lint:") else {
+            continue;
+        };
+        if kind.trim() != "epoch-guarded" {
+            continue;
+        }
+        for follower in lines.iter().skip(i + 1) {
+            let t = follower.trim();
+            if t.is_empty() || t.starts_with("//") || t.starts_with("#[") {
+                continue;
+            }
+            if let Some(name) = declared_type_name(t) {
+                guarded.push(name);
+            }
+            break;
+        }
+    }
+    guarded
+}
+
+/// Extracts `Foo` from a line starting a `struct Foo` / `enum Foo` /
+/// `impl Foo` declaration (with optional visibility).
+fn declared_type_name(line: &str) -> Option<String> {
+    let mut words = line
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty());
+    loop {
+        match words.next()? {
+            "pub" | "crate" | "super" | "in" => continue,
+            "struct" | "enum" | "union" | "impl" => {
+                return words.next().map(str::to_string);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Reads a file into a [`SourceFile`], normalizing the relative path.
+pub fn load(root: &Path, rel_path: &Path) -> Result<SourceFile, String> {
+    let text = std::fs::read_to_string(root.join(rel_path))
+        .map_err(|e| format!("{}: {e}", rel_path.display()))?;
+    let rel = rel_path
+        .to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/");
+    SourceFile::parse(&rel, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_paths_to_crates_and_roles() {
+        assert_eq!(
+            classify("crates/sim/src/state.rs"),
+            ("sim".to_string(), Role::Lib)
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/experiments.rs"),
+            ("bench".to_string(), Role::Bin)
+        );
+        assert_eq!(
+            classify("crates/pmf/tests/properties.rs"),
+            ("pmf".to_string(), Role::Test)
+        );
+        assert_eq!(
+            classify("crates/bench/benches/micro.rs"),
+            ("bench".to_string(), Role::Bench)
+        );
+        assert_eq!(
+            classify("tests/integration_energy.rs"),
+            ("tests".to_string(), Role::Test)
+        );
+    }
+
+    #[test]
+    fn epoch_markers_resolve_to_the_following_type() {
+        let src = "\
+// lint: epoch-guarded
+#[derive(Debug)]
+pub struct Tracked {
+    epoch: u64,
+}
+
+pub struct Untracked;
+";
+        let f = SourceFile::parse("crates/sim/src/x.rs", src).unwrap();
+        assert_eq!(f.epoch_guarded, vec!["Tracked".to_string()]);
+    }
+
+    #[test]
+    fn walk_items_flags_cfg_test_regions() {
+        let src = "\
+pub fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn helper() {}
+}
+";
+        let f = SourceFile::parse("crates/sim/src/x.rs", src).unwrap();
+        let mut seen = Vec::new();
+        f.walk_items(&mut |item, in_test| {
+            if let Item::Fn(func) = item {
+                seen.push((func.sig.ident.clone(), in_test));
+            }
+        });
+        assert_eq!(
+            seen,
+            vec![("prod".to_string(), false), ("helper".to_string(), true)]
+        );
+    }
+}

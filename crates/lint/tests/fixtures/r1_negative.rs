@@ -1,0 +1,57 @@
+//! R1 fixture: everything here is fine.
+
+// lint: epoch-guarded
+pub struct Ledger {
+    entries: Vec<u64>,
+    epoch: u64,
+}
+
+impl Ledger {
+    /// Unconditional bump.
+    pub fn push(&mut self, v: u64) {
+        self.entries.push(v);
+        self.epoch += 1;
+    }
+
+    /// Conditional bump still counts (R1 is not path-sensitive).
+    pub fn pop(&mut self) -> Option<u64> {
+        let out = self.entries.pop();
+        if out.is_some() {
+            self.epoch += 1;
+        }
+        out
+    }
+
+    /// Private mutators are the type's own business.
+    fn rewrite(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Read-only methods need no bump.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Unmarked types are out of scope entirely.
+pub struct Scratch {
+    data: Vec<u64>,
+}
+
+impl Scratch {
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Ledger;
+
+    impl Ledger {
+        /// Test-only helpers are exempt.
+        pub fn reset_for_test(&mut self) {
+            self.entries.clear();
+        }
+    }
+}

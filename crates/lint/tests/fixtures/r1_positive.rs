@@ -1,0 +1,33 @@
+//! R1 fixture: epoch-guarded types with mutators that forget the bump.
+
+// lint: epoch-guarded
+pub struct Ledger {
+    entries: Vec<u64>,
+    epoch: u64,
+}
+
+impl Ledger {
+    /// Bumps correctly: not flagged.
+    pub fn push(&mut self, v: u64) {
+        self.entries.push(v);
+        self.epoch += 1;
+    }
+
+    /// VIOLATION: public mutator without an epoch bump.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+pub struct CoreState {
+    epoch: u64,
+    queued: Vec<u64>,
+}
+
+/// `CoreState` is always guarded by name, marker or not.
+impl CoreState {
+    /// VIOLATION: public mutator without an epoch bump.
+    pub fn enqueue(&mut self, v: u64) {
+        self.queued.push(v);
+    }
+}

@@ -1,0 +1,25 @@
+//! R2 fixture: deterministic code plus test-only exemptions.
+
+use std::collections::BTreeMap;
+
+/// Ordered maps iterate deterministically.
+pub fn tally(events: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for e in events {
+        *out.entry(*e).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    /// Hash iteration order never reaches a result in test-only code.
+    #[test]
+    fn hashmap_is_fine_here() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! R2 fixture: nondeterminism sources in a result-affecting crate.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// VIOLATION (HashMap in signature) on top of the `use` violations above.
+pub fn tally(events: &[u32]) -> HashMap<u32, usize> {
+    let mut out = HashMap::new();
+    for e in events {
+        *out.entry(*e).or_insert(0) += 1;
+    }
+    out
+}
+
+/// VIOLATION: wall clock in result-affecting code.
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
+
+/// VIOLATION: OS entropy.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

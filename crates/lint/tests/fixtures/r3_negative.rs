@@ -1,0 +1,32 @@
+//! R3 fixture: approved float ordering and out-of-scope comparisons.
+
+use std::cmp::Ordering;
+
+/// `total_cmp` is the approved order.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    (0..xs.len()).max_by(|&a, &b| xs[a].total_cmp(&xs[b]))
+}
+
+/// Defining `partial_cmp` is not calling it.
+pub struct Wrapped(pub u32);
+
+impl Wrapped {
+    pub fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.cmp(&other.0))
+    }
+}
+
+/// Integer equality is untouched.
+pub fn is_three(x: u32) -> bool {
+    x == 3
+}
+
+#[cfg(test)]
+mod tests {
+    /// Exact float assertions are idiomatic in tests.
+    #[test]
+    fn exact_in_tests() {
+        let x = 0.5;
+        assert!(x * 2.0 == 1.0);
+    }
+}

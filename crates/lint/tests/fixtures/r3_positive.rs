@@ -1,0 +1,17 @@
+//! R3 fixture: NaN-unsafe float comparison idioms.
+
+/// VIOLATION: `partial_cmp(..).unwrap()` panics on NaN.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    (0..xs.len()).max_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap())
+}
+
+/// VIOLATION: same chain through `expect`.
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+}
+
+/// VIOLATION: float equality against a non-zero literal is a tolerance
+/// check in disguise.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

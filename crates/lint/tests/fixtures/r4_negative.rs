@@ -1,0 +1,25 @@
+//! R4 fixture: non-panicking fallbacks and test-only panics.
+
+/// `unwrap_or` family does not panic.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+/// Propagating with `?` is the library-code idiom.
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    let n: u32 = s.trim().parse()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may unwrap and panic freely.
+    #[test]
+    fn unwrap_in_tests() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+        if xs.is_empty() {
+            panic!("impossible");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! R4 fixture: unaudited panics in library code.
+
+/// VIOLATION: bare unwrap.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+/// VIOLATION: expect is still a panic.
+pub fn last(xs: &[u32]) -> u32 {
+    *xs.last().expect("non-empty")
+}
+
+/// VIOLATION: explicit panic!.
+pub fn refuse() {
+    panic!("not implemented");
+}

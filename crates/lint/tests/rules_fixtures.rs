@@ -1,0 +1,185 @@
+//! Per-rule fixture tests: each `tests/fixtures/*.rs` file is parsed as if
+//! it lived at a chosen workspace path (the path drives crate/role
+//! scoping) and checked against the full rule set. Positives must produce
+//! exactly the expected diagnostics, negatives none, and the allowlist
+//! machinery must excuse — and only excuse — what it names.
+
+use ecds_lint::allowlist::Allowlist;
+use ecds_lint::diag::{Diagnostic, RuleId};
+use ecds_lint::rules;
+use ecds_lint::source::SourceFile;
+
+/// Parses a fixture under the given pretend workspace path and runs every
+/// rule over it.
+fn check_fixture(fixture: &str, rel_path: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {path}: {e}"));
+    let file = SourceFile::parse(rel_path, &text)
+        .unwrap_or_else(|e| panic!("parsing fixture {fixture}: {e}"));
+    let mut out = Vec::new();
+    rules::check_all(&file, &mut out);
+    out
+}
+
+fn lines_for(diags: &[Diagnostic], rule: RuleId) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn r1_flags_missing_epoch_bumps() {
+    let diags = check_fixture("r1_positive.rs", "crates/sim/src/fixture.rs");
+    let r1 = lines_for(&diags, RuleId::EpochDiscipline);
+    // `Ledger::clear` (marker-guarded) and `CoreState::enqueue` (guarded by
+    // name); `Ledger::push` bumps and must not appear.
+    assert_eq!(r1.len(), 2, "diagnostics: {diags:#?}");
+    let snippets: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::EpochDiscipline)
+        .map(|d| d.snippet.as_str())
+        .collect();
+    assert!(snippets.iter().any(|s| s.contains("fn clear")));
+    assert!(snippets.iter().any(|s| s.contains("fn enqueue")));
+}
+
+#[test]
+fn r1_accepts_bumping_private_and_test_mutators() {
+    let diags = check_fixture("r1_negative.rs", "crates/sim/src/fixture.rs");
+    assert!(
+        lines_for(&diags, RuleId::EpochDiscipline).is_empty(),
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn r2_flags_hash_collections_clocks_and_entropy() {
+    let diags = check_fixture("r2_positive.rs", "crates/core/src/fixture.rs");
+    let r2: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::Determinism)
+        .collect();
+    let hits = |needle: &str| r2.iter().filter(|d| d.message.contains(needle)).count();
+    assert!(hits("HashMap") >= 2, "use + body: {r2:#?}");
+    assert!(hits("Instant") >= 1, "diagnostics: {r2:#?}");
+    assert!(hits("thread_rng") >= 1, "diagnostics: {r2:#?}");
+}
+
+#[test]
+fn r2_is_scoped_to_result_affecting_crates() {
+    // The same nondeterminism is fine in a crate that never touches
+    // results (`bench` drives wall-clock measurements by design).
+    let diags = check_fixture("r2_positive.rs", "crates/bench/src/fixture.rs");
+    assert!(
+        lines_for(&diags, RuleId::Determinism).is_empty(),
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn r2_accepts_btree_and_test_only_hash() {
+    let diags = check_fixture("r2_negative.rs", "crates/core/src/fixture.rs");
+    assert!(
+        lines_for(&diags, RuleId::Determinism).is_empty(),
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn r3_flags_partial_cmp_chains_and_float_equality() {
+    let diags = check_fixture("r3_positive.rs", "crates/pmf/src/fixture.rs");
+    let r3: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::FloatDiscipline)
+        .collect();
+    assert_eq!(r3.len(), 3, "diagnostics: {r3:#?}");
+    assert!(r3.iter().any(|d| d.snippet.contains(".unwrap()")));
+    assert!(r3.iter().any(|d| d.snippet.contains(".expect(")));
+    assert!(r3.iter().any(|d| d.snippet.contains("== 1.0")));
+    // Suggestions must point at the approved replacement.
+    assert!(r3
+        .iter()
+        .filter(|d| d.snippet.contains("partial_cmp"))
+        .all(|d| d.suggestion.contains("total_cmp")));
+}
+
+#[test]
+fn r3_accepts_total_cmp_definitions_and_test_equality() {
+    let diags = check_fixture("r3_negative.rs", "crates/pmf/src/fixture.rs");
+    assert!(
+        lines_for(&diags, RuleId::FloatDiscipline).is_empty(),
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn r3_partial_cmp_chain_is_flagged_even_in_tests() {
+    // NaN panics in a test are still flaky failures; the chain rule has no
+    // test exemption (only the equality heuristic does).
+    let diags = check_fixture("r3_positive.rs", "crates/pmf/tests/fixture.rs");
+    let r3: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::FloatDiscipline)
+        .collect();
+    assert_eq!(r3.len(), 2, "only the two chains: {r3:#?}");
+    assert!(r3.iter().all(|d| d.snippet.contains("partial_cmp")));
+}
+
+#[test]
+fn r4_flags_unwrap_expect_and_panic_in_lib_code() {
+    let diags = check_fixture("r4_positive.rs", "crates/sim/src/fixture.rs");
+    let r4 = lines_for(&diags, RuleId::PanicDiscipline);
+    assert_eq!(r4.len(), 3, "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn r4_is_scoped_to_library_code() {
+    // The same panics in an integration test are fine…
+    let diags = check_fixture("r4_positive.rs", "crates/sim/tests/fixture.rs");
+    assert!(lines_for(&diags, RuleId::PanicDiscipline).is_empty());
+    // …and fallbacks/test-only panics in lib code are too.
+    let diags = check_fixture("r4_negative.rs", "crates/sim/src/fixture.rs");
+    assert!(
+        lines_for(&diags, RuleId::PanicDiscipline).is_empty(),
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn allowlist_excuses_exactly_what_it_names() {
+    let mut diags = check_fixture("r4_positive.rs", "crates/sim/src/fixture.rs");
+    let toml = r#"
+[[allow]]
+rule = "R4-panic"
+file = "crates/sim/src/fixture.rs"
+pattern = 'expect("non-empty")'
+reason = "fixture: audited"
+"#;
+    let list = Allowlist::parse(toml).unwrap();
+    let stale = list.apply(&mut diags);
+    assert!(stale.is_empty());
+    let allowed: Vec<&Diagnostic> = diags.iter().filter(|d| d.allowed.is_some()).collect();
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0].snippet.contains("expect"));
+    // The unwrap and panic! sites remain violations.
+    assert_eq!(diags.iter().filter(|d| d.allowed.is_none()).count(), 2);
+}
+
+#[test]
+fn allowlist_entry_matching_nothing_is_stale() {
+    let mut diags = check_fixture("r4_negative.rs", "crates/sim/src/fixture.rs");
+    let toml = r#"
+[[allow]]
+rule = "R4-panic"
+file = "crates/sim/src/fixture.rs"
+pattern = "some_removed_call()"
+reason = "audited long ago"
+"#;
+    let list = Allowlist::parse(toml).unwrap();
+    let stale = list.apply(&mut diags);
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].pattern, "some_removed_call()");
+}

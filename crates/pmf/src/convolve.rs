@@ -67,7 +67,11 @@ mod tests {
 
     #[test]
     fn convolve_coins_gives_binomial_support() {
-        let c = convolve(&coin(0.0, 1.0), &coin(0.0, 1.0), ReductionPolicy::unlimited());
+        let c = convolve(
+            &coin(0.0, 1.0),
+            &coin(0.0, 1.0),
+            ReductionPolicy::unlimited(),
+        );
         assert_eq!(c.len(), 3);
         let probs: Vec<f64> = c.impulses().iter().map(|i| i.prob).collect();
         assert!((probs[0] - 0.25).abs() < 1e-12);
@@ -116,7 +120,11 @@ mod tests {
 
     #[test]
     fn convolve_all_folds_left() {
-        let pmfs = [Pmf::singleton(1.0), Pmf::singleton(2.0), Pmf::singleton(3.0)];
+        let pmfs = [
+            Pmf::singleton(1.0),
+            Pmf::singleton(2.0),
+            Pmf::singleton(3.0),
+        ];
         let c = convolve_all(pmfs.iter(), ReductionPolicy::unlimited()).unwrap();
         assert_eq!(c.expectation(), 6.0);
     }

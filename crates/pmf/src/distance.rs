@@ -45,7 +45,7 @@ pub fn wasserstein_1(a: &Pmf, b: &Pmf) -> f64 {
         .chain(b.impulses())
         .map(|imp| imp.value)
         .collect();
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite support"));
+    xs.sort_by(|p, q| p.total_cmp(q));
     xs.dedup();
     let mut total = 0.0;
     for w in xs.windows(2) {
@@ -113,7 +113,10 @@ mod tests {
         let ks = kolmogorov_smirnov(&p, &r);
         for deadline in [30.0, 90.0, 150.0, 250.0] {
             let gap = (p.prob_le(deadline) - r.prob_le(deadline)).abs();
-            assert!(gap <= ks + 1e-12, "deadline {deadline}: gap {gap} > ks {ks}");
+            assert!(
+                gap <= ks + 1e-12,
+                "deadline {deadline}: gap {gap} > ks {ks}"
+            );
         }
     }
 

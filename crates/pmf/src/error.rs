@@ -73,8 +73,12 @@ mod tests {
         assert!(PmfError::NotNormalized { total: 0.7 }
             .to_string()
             .contains("0.7"));
-        assert!(PmfError::AllMassTruncated.to_string().contains("truncation"));
-        assert!(PmfError::InvalidQuantile { u: 1.5 }.to_string().contains("1.5"));
+        assert!(PmfError::AllMassTruncated
+            .to_string()
+            .contains("truncation"));
+        assert!(PmfError::InvalidQuantile { u: 1.5 }
+            .to_string()
+            .contains("1.5"));
     }
 
     #[test]

@@ -287,7 +287,7 @@ impl Pmf {
 /// Sorts impulses by value and merges (sums the probability of) support
 /// points that coincide within [`VALUE_MERGE_EPSILON`] relative tolerance.
 pub(crate) fn sort_and_merge(impulses: &mut Vec<Impulse>) {
-    impulses.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"));
+    impulses.sort_by(|a, b| a.value.total_cmp(&b.value));
     let mut out: Vec<Impulse> = Vec::with_capacity(impulses.len());
     for imp in impulses.drain(..) {
         match out.last_mut() {

@@ -57,7 +57,7 @@ where
     let mut samples: Vec<f64> = (0..cfg.samples).map(|_| draw(rng)).collect();
     samples.retain(|x| x.is_finite());
     assert!(!samples.is_empty(), "sampler produced no finite values");
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    samples.sort_by(|a, b| a.total_cmp(b));
 
     let n = samples.len();
     let k = cfg.max_impulses.min(n);
@@ -103,13 +103,19 @@ mod tests {
     fn pmf_mean_tracks_sample_mean() {
         let g = Gamma::from_mean_cv(750.0, 0.2);
         let p = empirical_pmf(&mut rng(), SamplePmfConfig::new(5_000, 24), |r| g.sample(r));
-        assert!((p.expectation() - 750.0).abs() < 15.0, "{}", p.expectation());
+        assert!(
+            (p.expectation() - 750.0).abs() < 15.0,
+            "{}",
+            p.expectation()
+        );
     }
 
     #[test]
     fn pmf_std_dev_tracks_cv() {
         let g = Gamma::from_mean_cv(1000.0, 0.25);
-        let p = empirical_pmf(&mut rng(), SamplePmfConfig::new(20_000, 24), |r| g.sample(r));
+        let p = empirical_pmf(&mut rng(), SamplePmfConfig::new(20_000, 24), |r| {
+            g.sample(r)
+        });
         let cv = p.std_dev() / p.expectation();
         assert!((cv - 0.25).abs() < 0.03, "cv {cv}");
     }

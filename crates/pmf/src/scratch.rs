@@ -228,8 +228,11 @@ impl PmfScratch {
     pub fn load_prefix_shifted(&mut self, pmf: &Pmf, dt: Time) {
         assert!(dt.is_finite(), "shift must be finite");
         self.prefix.clear();
-        self.prefix
-            .extend(pmf.impulses().iter().map(|i| Impulse::new(i.value + dt, i.prob)));
+        self.prefix.extend(
+            pmf.impulses()
+                .iter()
+                .map(|i| Impulse::new(i.value + dt, i.prob)),
+        );
     }
 
     /// In-place [`crate::truncate::truncate_below_or_floor`] on the
@@ -270,7 +273,15 @@ impl PmfScratch {
             prefix,
             kernel_calls,
         } = self;
-        fused_convolve_reduce(prefix, b.impulses(), policy, products, merge_buf, merged, out);
+        fused_convolve_reduce(
+            prefix,
+            b.impulses(),
+            policy,
+            products,
+            merge_buf,
+            merged,
+            out,
+        );
         *kernel_calls += 1;
         std::mem::swap(prefix, out);
     }

@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn different_indices_differ() {
         let d = SeedDerive::new(42);
-        assert_ne!(d.seed(Stream::Arrivals, 0, 0), d.seed(Stream::Arrivals, 1, 0));
+        assert_ne!(
+            d.seed(Stream::Arrivals, 0, 0),
+            d.seed(Stream::Arrivals, 1, 0)
+        );
         assert_ne!(d.seed(Stream::ExecPmf, 5, 0), d.seed(Stream::ExecPmf, 5, 1));
     }
 
@@ -122,8 +125,16 @@ mod tests {
     #[test]
     fn rng_streams_are_reproducible() {
         let d = SeedDerive::new(7);
-        let a: Vec<u64> = d.rng(Stream::TaskTypes, 9, 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = d.rng(Stream::TaskTypes, 9, 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = d
+            .rng(Stream::TaskTypes, 9, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = d
+            .rng(Stream::TaskTypes, 9, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -66,7 +66,7 @@ proptest! {
     #[test]
     fn cdf_is_monotone(p in arb_pmf(), xs in prop::collection::vec(0.0f64..1200.0, 2..8)) {
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut last = 0.0;
         for x in sorted {
             let c = p.prob_le(x);

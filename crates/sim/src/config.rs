@@ -68,7 +68,10 @@ impl SimConfig {
 /// `window` times. Deliberately insufficient to finish every task on time,
 /// forcing the heuristics to trade performance against energy.
 pub fn paper_energy_budget(t_avg: Time, p_avg: f64, window: usize) -> f64 {
-    assert!(t_avg > 0.0 && p_avg > 0.0 && window > 0, "budget inputs must be positive");
+    assert!(
+        t_avg > 0.0 && p_avg > 0.0 && window > 0,
+        "budget inputs must be positive"
+    );
     t_avg * p_avg * window as f64
 }
 
@@ -86,7 +89,10 @@ mod tests {
 
     #[test]
     fn unconstrained_budget_is_infinite() {
-        assert_eq!(SimConfig::unconstrained().budget_or_infinite(), f64::INFINITY);
+        assert_eq!(
+            SimConfig::unconstrained().budget_or_infinite(),
+            f64::INFINITY
+        );
     }
 
     #[test]

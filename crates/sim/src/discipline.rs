@@ -230,12 +230,7 @@ impl<'a> EngineCtx<'a> {
     /// # Panics
     ///
     /// Panics when `core` is out of range.
-    pub fn record_assignment(
-        &mut self,
-        task: TaskId,
-        core: usize,
-        pstate: ecds_cluster::PState,
-    ) {
+    pub fn record_assignment(&mut self, task: TaskId, core: usize, pstate: ecds_cluster::PState) {
         assert!(
             core < self.cores.len(),
             "mapper chose nonexistent core {core}"
@@ -263,9 +258,9 @@ impl<'a> EngineCtx<'a> {
         });
         self.outcomes[task.0].start = Some(self.now);
         let node = self.cluster.core(core).node;
-        let actual =
-            self.table
-                .actual_time(task_data.type_id, node, pstate, task_data.quantile);
+        let actual = self
+            .table
+            .actual_time(task_data.type_id, node, pstate, task_data.quantile);
         self.queue
             .push(self.now + actual, EventKind::Completion { core, task });
     }
@@ -323,7 +318,8 @@ pub struct ImmediateDiscipline<'m> {
 
 impl std::fmt::Debug for ImmediateDiscipline<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ImmediateDiscipline").finish_non_exhaustive()
+        f.debug_struct("ImmediateDiscipline")
+            .finish_non_exhaustive()
     }
 }
 

@@ -168,7 +168,7 @@ impl EnergyAccountant {
                 changes.push((time, core, state));
             }
         }
-        changes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        changes.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut per_core = vec![0.0f64; self.logs.len()];
         let mut total = 0.0f64;
         let mut out: Vec<(Time, f64)> = Vec::new();
@@ -217,7 +217,7 @@ impl EnergyAccountant {
                 changes.push(Change { time, core, state });
             }
         }
-        changes.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        changes.sort_by(|a, b| a.time.total_cmp(&b.time));
         if changes.is_empty() {
             return None;
         }
@@ -284,7 +284,11 @@ mod tests {
     }
 
     fn one_core_cluster() -> Cluster {
-        Cluster::new(vec![flat_power_node(1, [100.0, 80.0, 60.0, 40.0, 20.0], 1.0)])
+        Cluster::new(vec![flat_power_node(
+            1,
+            [100.0, 80.0, 60.0, 40.0, 20.0],
+            1.0,
+        )])
     }
 
     #[test]

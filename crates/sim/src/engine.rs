@@ -64,12 +64,7 @@ impl<'a> Simulation<'a> {
     pub fn run_with(&self, discipline: &mut dyn Discipline) -> TrialResult {
         let cluster = self.scenario.cluster();
         let cfg = self.scenario.sim_config();
-        let mut ctx = EngineCtx::new(
-            cluster,
-            self.scenario.table(),
-            cfg,
-            self.trace.tasks(),
-        );
+        let mut ctx = EngineCtx::new(cluster, self.scenario.table(), cfg, self.trace.tasks());
         discipline.on_trial_start(&mut ctx);
 
         let mut end_time: Time = 0.0;
@@ -79,11 +74,7 @@ impl<'a> Simulation<'a> {
             match event.kind {
                 EventKind::Arrival(task_id) => {
                     ctx.arrived += 1;
-                    debug_assert_eq!(
-                        ctx.tasks[task_id.0].id,
-                        task_id,
-                        "trace must be id-ordered"
-                    );
+                    debug_assert_eq!(ctx.tasks[task_id.0].id, task_id, "trace must be id-ordered");
                     discipline.on_arrival(&mut ctx, task_id);
                 }
                 EventKind::Completion { core, task } => {
@@ -103,7 +94,13 @@ impl<'a> Simulation<'a> {
             .energy_budget
             .and_then(|budget| ctx.accountant.exhaustion_time(cluster, budget));
 
-        TrialResult::new(ctx.outcomes, total_energy, exhausted_at, end_time, telemetry)
+        TrialResult::new(
+            ctx.outcomes,
+            total_energy,
+            exhausted_at,
+            end_time,
+            telemetry,
+        )
     }
 }
 
@@ -187,9 +184,8 @@ mod tests {
 
     #[test]
     fn deeper_pstate_uses_less_energy_unconstrained() {
-        let scenario = Scenario::small_for_tests(42).with_sim_config(
-            crate::config::SimConfig::unconstrained(),
-        );
+        let scenario = Scenario::small_for_tests(42)
+            .with_sim_config(crate::config::SimConfig::unconstrained());
         let trace = scenario.trace(0);
         let fast = Simulation::new(&scenario, &trace).run(&mut RoundRobin {
             next: 0,
@@ -223,8 +219,8 @@ mod tests {
 
     #[test]
     fn faster_pstate_completes_no_fewer_on_time_ignoring_energy() {
-        let scenario = Scenario::small_for_tests(7)
-            .with_sim_config(crate::config::SimConfig::unconstrained());
+        let scenario =
+            Scenario::small_for_tests(7).with_sim_config(crate::config::SimConfig::unconstrained());
         let trace = scenario.trace(1);
         let fast = Simulation::new(&scenario, &trace).run(&mut RoundRobin {
             next: 0,
@@ -245,12 +241,11 @@ mod tests {
             next: 0,
             pstate: PState::P0,
         });
-        let starved = Simulation::new(&scenario.with_budget_factor(0.05), &trace).run(
-            &mut RoundRobin {
+        let starved =
+            Simulation::new(&scenario.with_budget_factor(0.05), &trace).run(&mut RoundRobin {
                 next: 0,
                 pstate: PState::P0,
-            },
-        );
+            });
         assert!(starved.exhausted_at().is_some());
         assert!(starved.completed() <= normal.completed());
     }

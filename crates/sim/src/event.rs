@@ -53,8 +53,7 @@ impl Ord for Event {
         // BinaryHeap is a max-heap; invert so earliest time pops first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
             .then_with(|| other.seq.cmp(&self.seq))
     }

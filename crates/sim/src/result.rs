@@ -87,10 +87,7 @@ impl TrialResult {
         telemetry: Telemetry,
     ) -> Self {
         assert!(
-            outcomes
-                .iter()
-                .enumerate()
-                .all(|(i, o)| o.task.0 == i),
+            outcomes.iter().enumerate().all(|(i, o)| o.task.0 == i),
             "outcomes must be dense and in task-id order"
         );
         Self::new(outcomes, total_energy, exhausted_at, makespan, telemetry)

@@ -93,7 +93,10 @@ impl Scenario {
     /// Returns a copy with a scaled energy budget (`factor` × the current
     /// budget) — used by the budget-sweep example and ablations.
     pub fn with_budget_factor(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         let mut out = self.clone();
         out.sim.energy_budget = self.sim.energy_budget.map(|b| b * factor);
         out

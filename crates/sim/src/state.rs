@@ -37,6 +37,7 @@ pub struct ExecutingTask {
 }
 
 /// One core's run state.
+// lint: epoch-guarded
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoreState {
     executing: Option<ExecutingTask>,

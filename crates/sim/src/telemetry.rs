@@ -95,10 +95,7 @@ impl Telemetry {
 
     /// Peak average queue depth over the trial.
     pub fn peak_queue_depth(&self) -> f64 {
-        self.queue_depth
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0, f64::max)
+        self.queue_depth.iter().map(|&(_, d)| d).fold(0.0, f64::max)
     }
 
     /// Resamples a series onto `buckets` equal time intervals (mean of the

@@ -96,7 +96,7 @@ proptest! {
     #[test]
     fn fifo_is_preserved_per_core(script in arb_script()) {
         let r = run_scripted(script);
-        let mut per_core: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut per_core: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for o in r.outcomes() {
             if let (Some((core, _)), Some(start)) = (o.assignment, o.start) {
                 let last = per_core.entry(core).or_insert(f64::NEG_INFINITY);
@@ -131,7 +131,7 @@ proptest! {
         let s = scenario();
         let trace = s.trace(0);
         let mut sorted = factors.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut last_completed = 0usize;
         for factor in sorted {
             let starved = s.with_budget_factor(factor);

@@ -38,9 +38,7 @@ pub fn render_boxplots(series: &[(String, BoxStats)], width: usize) -> String {
         .max()
         .unwrap_or(0)
         .max(8);
-    let col = |x: f64| -> usize {
-        (((x - lo) / span) * (width - 1) as f64).round() as usize
-    };
+    let col = |x: f64| -> usize { (((x - lo) / span) * (width - 1) as f64).round() as usize };
 
     let mut out = String::new();
     for (label, s) in series {

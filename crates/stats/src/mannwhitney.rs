@@ -56,7 +56,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
         .map(|&x| (x, 0usize))
         .chain(b.iter().map(|&x| (x, 1usize)))
         .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite"));
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
     let n = pooled.len();
     let mut ranks = vec![0.0f64; n];
     let mut tie_correction = 0.0f64;
@@ -85,8 +85,8 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitney> {
 
     let mean_u = n1 * n2 / 2.0;
     let n_tot = n1 + n2;
-    let var_u = n1 * n2 / 12.0
-        * ((n_tot + 1.0) - tie_correction / (n_tot * (n_tot - 1.0)).max(1.0));
+    let var_u =
+        n1 * n2 / 12.0 * ((n_tot + 1.0) - tie_correction / (n_tot * (n_tot - 1.0)).max(1.0));
     let (z, p) = if var_u <= 0.0 {
         (0.0, 1.0)
     } else {
@@ -117,7 +117,8 @@ fn erf_approx(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -169,7 +170,11 @@ mod tests {
         let a = [1.0, 2.0, 2.0, 3.0];
         let b = [2.0, 3.0, 3.0, 4.0];
         let r = mann_whitney_u(&a, &b).unwrap();
-        assert!(r.p_two_sided > 0.05, "overlapping samples: p {}", r.p_two_sided);
+        assert!(
+            r.p_two_sided > 0.05,
+            "overlapping samples: p {}",
+            r.p_two_sided
+        );
         assert!(r.effect < 0.0);
     }
 

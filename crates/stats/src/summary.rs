@@ -40,7 +40,7 @@ impl BoxStats {
             return None;
         }
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         let q1 = quantile_type7(&sorted, 0.25);
         let median = quantile_type7(&sorted, 0.5);

@@ -108,10 +108,7 @@ impl BurstPattern {
 
     /// Expected makespan of the arrival process (sum of phase means).
     pub fn expected_span(&self) -> Time {
-        self.phases
-            .iter()
-            .map(|p| p.count as f64 / p.rate)
-            .sum()
+        self.phases.iter().map(|p| p.count as f64 / p.rate).sum()
     }
 
     /// Generates the arrival-time sequence: exponential inter-arrival gaps

@@ -149,8 +149,7 @@ mod tests {
             (0..8)
                 .min_by(|&a, &b| {
                     m.mean(TaskTypeId(t), a)
-                        .partial_cmp(&m.mean(TaskTypeId(t), b))
-                        .unwrap()
+                        .total_cmp(&m.mean(TaskTypeId(t), b))
                 })
                 .unwrap()
         };

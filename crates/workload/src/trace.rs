@@ -39,7 +39,9 @@ impl WorkloadTrace {
             table.num_types(),
             "config and table disagree on task-type count"
         );
-        let arrivals = cfg.arrivals.generate(&mut seeds.rng(Stream::Arrivals, trial, 0));
+        let arrivals = cfg
+            .arrivals
+            .generate(&mut seeds.rng(Stream::Arrivals, trial, 0));
         let mut type_rng = seeds.rng(Stream::TaskTypes, trial, 0);
         let mut quantile_rng = seeds.rng(Stream::Quantiles, trial, 0);
         let t_avg = table.t_avg();
@@ -134,7 +136,7 @@ mod tests {
     fn types_are_within_range_and_varied() {
         let (cfg, table, seeds) = setup();
         let trace = WorkloadTrace::generate(&cfg, &table, &seeds, 0);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for t in trace.tasks() {
             assert!(t.type_id.0 < cfg.num_types);
             seen.insert(t.type_id.0);

@@ -2,7 +2,9 @@
 
 use ecds_cluster::{generate_cluster, ClusterGenConfig, PState};
 use ecds_pmf::SeedDerive;
-use ecds_workload::{BurstPattern, EtcMatrix, ExecTable, TaskTypeId, WorkloadConfig, WorkloadTrace};
+use ecds_workload::{
+    BurstPattern, EtcMatrix, ExecTable, TaskTypeId, WorkloadConfig, WorkloadTrace,
+};
 use proptest::prelude::*;
 
 proptest! {

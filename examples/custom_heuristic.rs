@@ -39,14 +39,8 @@ impl Heuristic for MaxRho {
             .max_by(|(_, a), (_, b)| {
                 a.est
                     .rho
-                    .partial_cmp(&b.est.rho)
-                    .expect("rho is finite")
-                    .then(
-                        b.est
-                            .eec
-                            .partial_cmp(&a.est.eec)
-                            .expect("eec is finite"),
-                    )
+                    .total_cmp(&b.est.rho)
+                    .then(b.est.eec.total_cmp(&a.est.eec))
             })
             .map(|(idx, _)| idx)
     }

@@ -23,7 +23,9 @@ fn main() {
                 .enumerate()
                 .map(|(trial, trace)| {
                     let mut mapper = build_scheduler(kind, variant, &scenario, trial as u64);
-                    Simulation::new(&scenario, trace).run(mapper.as_mut()).missed() as f64
+                    Simulation::new(&scenario, trace)
+                        .run(mapper.as_mut())
+                        .missed() as f64
                 })
                 .collect();
             let stats = BoxStats::from_samples(&missed).expect("non-empty");

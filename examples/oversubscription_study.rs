@@ -38,7 +38,9 @@ fn main() {
                 .map(|trial| {
                     let trace = scenario.trace(trial);
                     let mut mapper = build_scheduler(kind, variant, &scenario, trial);
-                    Simulation::new(&scenario, &trace).run(mapper.as_mut()).missed() as f64
+                    Simulation::new(&scenario, &trace)
+                        .run(mapper.as_mut())
+                        .missed() as f64
                 })
                 .sum::<f64>()
                 / TRIALS as f64
@@ -47,7 +49,10 @@ fn main() {
         table.push_row(vec![
             format!("{rate:.4}"),
             format!("{factor:.1}"),
-            format!("{:.1}", mean_missed(HeuristicKind::Mect, FilterVariant::None)),
+            format!(
+                "{:.1}",
+                mean_missed(HeuristicKind::Mect, FilterVariant::None)
+            ),
             format!(
                 "{:.1}",
                 mean_missed(
@@ -58,9 +63,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "Mean missed deadlines (of {window}) over {TRIALS} trials, constant arrival rates:\n"
-    );
+    println!("Mean missed deadlines (of {window}) over {TRIALS} trials, constant arrival rates:\n");
     println!("{}", table.render());
     println!(
         "Expected shape: both configurations degrade as the arrival rate\n\

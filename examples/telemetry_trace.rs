@@ -48,7 +48,9 @@ fn main() {
         println!("{}", sparkline_row("cluster watts", &power, 16));
         println!(
             "{:<16} (time axis: 0 .. {:.0}, {} buckets)",
-            "", result.makespan(), BUCKETS
+            "",
+            result.makespan(),
+            BUCKETS
         );
         if let Some(rate) = telemetry.mapper.prefix_cache_hit_rate() {
             println!(

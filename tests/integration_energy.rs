@@ -86,10 +86,8 @@ fn cutoff_discounts_late_completions_exactly() {
 fn energy_filter_reduces_consumption() {
     let scenario = Scenario::small_for_tests(42);
     let trace = scenario.trace(0);
-    let mut unfiltered =
-        build_scheduler(HeuristicKind::Mect, FilterVariant::None, &scenario, 0);
-    let mut filtered =
-        build_scheduler(HeuristicKind::Mect, FilterVariant::Energy, &scenario, 0);
+    let mut unfiltered = build_scheduler(HeuristicKind::Mect, FilterVariant::None, &scenario, 0);
+    let mut filtered = build_scheduler(HeuristicKind::Mect, FilterVariant::Energy, &scenario, 0);
     let a = Simulation::new(&scenario, &trace).run(unfiltered.as_mut());
     let b = Simulation::new(&scenario, &trace).run(filtered.as_mut());
     assert!(

@@ -3,8 +3,7 @@
 
 use ecds::ext::{
     assign_priorities, multi_burst, ramp, run_batch, sinusoidal, BatchEdf, BatchMaxRho,
-    CancellationReport, PriorityClass, PriorityEnergyFilter, PriorityReport,
-    StochasticPowerModel,
+    CancellationReport, PriorityClass, PriorityEnergyFilter, PriorityReport, StochasticPowerModel,
 };
 use ecds::prelude::*;
 
@@ -25,8 +24,7 @@ fn batch_and_immediate_agree_on_accounting_invariants() {
         assert!(result.total_energy() > 0.0);
         let breakdown = EnergyBreakdown::compute(&s, &result);
         assert!(
-            (breakdown.busy_energy + breakdown.idle_energy - result.total_energy()).abs()
-                < 1e-6
+            (breakdown.busy_energy + breakdown.idle_energy - result.total_energy()).abs() < 1e-6
         );
     }
 }
@@ -39,7 +37,7 @@ fn batch_never_queues_behind_busy_cores() {
     // In batch mode a task's start coincides with a mapping event at which
     // its core was idle; therefore start >= arrival always, and no core
     // ever runs two tasks at once (checked via span overlap).
-    let mut spans: std::collections::HashMap<usize, Vec<(f64, f64)>> = Default::default();
+    let mut spans: std::collections::BTreeMap<usize, Vec<(f64, f64)>> = Default::default();
     for o in result.outcomes() {
         let (Some((core, _)), Some(start), Some(end)) = (o.assignment, o.start, o.completion)
         else {
@@ -49,7 +47,7 @@ fn batch_never_queues_behind_busy_cores() {
         spans.entry(core).or_default().push((start, end));
     }
     for (_, mut s) in spans {
-        s.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        s.sort_by(|a, b| a.0.total_cmp(&b.0));
         assert!(s.windows(2).all(|w| w[0].1 <= w[1].0 + 1e-9));
     }
 }
@@ -142,6 +140,8 @@ fn cancel_overdue_never_harms_the_same_trace() {
     let report = CancellationReport::run(&s, &trace, || {
         build_scheduler(HeuristicKind::ShortestQueue, FilterVariant::None, &s, 1)
     });
-    assert!(report.cancelling.completed() + report.cancelling.cancelled() <= report.cancelling.window());
+    assert!(
+        report.cancelling.completed() + report.cancelling.cancelled() <= report.cancelling.window()
+    );
     assert!(report.misses_avoided() >= -(trace.len() as i64) / 10);
 }

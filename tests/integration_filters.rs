@@ -100,7 +100,7 @@ fn robustness_filter_never_retains_below_threshold() {
             candidates
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| a.est.ect.partial_cmp(&b.est.ect).unwrap())
+                .min_by(|(_, a), (_, b)| a.est.ect.total_cmp(&b.est.ect))
                 .map(|(i, _)| i)
         }
     }

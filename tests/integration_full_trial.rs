@@ -67,7 +67,10 @@ fn energy_is_positive_and_cutoff_within_makespan() {
     for (kind, variant, result) in grid_results() {
         assert!(result.total_energy() > 0.0, "{kind}/{variant}");
         if let Some(t) = result.exhausted_at() {
-            assert!(t >= 0.0 && t <= result.makespan() + 1e-9, "{kind}/{variant}");
+            assert!(
+                t >= 0.0 && t <= result.makespan() + 1e-9,
+                "{kind}/{variant}"
+            );
         }
     }
 }
@@ -78,10 +81,15 @@ fn fifo_per_core_execution_order() {
     // order — the run queues are FIFO.
     let scenario = Scenario::small_for_tests(42);
     let trace = scenario.trace(0);
-    let mut mapper = build_scheduler(HeuristicKind::ShortestQueue, FilterVariant::None, &scenario, 0);
+    let mut mapper = build_scheduler(
+        HeuristicKind::ShortestQueue,
+        FilterVariant::None,
+        &scenario,
+        0,
+    );
     let result = Simulation::new(&scenario, &trace).run(mapper.as_mut());
-    let mut per_core: std::collections::HashMap<usize, Vec<(f64, f64)>> =
-        std::collections::HashMap::new();
+    let mut per_core: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
     for o in result.outcomes() {
         if let (Some((core, _)), Some(start)) = (o.assignment, o.start) {
             per_core.entry(core).or_default().push((o.arrival, start));
@@ -89,7 +97,7 @@ fn fifo_per_core_execution_order() {
     }
     for (core, entries) in per_core {
         let mut sorted = entries.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let starts: Vec<f64> = sorted.iter().map(|e| e.1).collect();
         assert!(
             starts.windows(2).all(|w| w[0] <= w[1]),

@@ -14,7 +14,9 @@ fn mean_missed(scenario: &Scenario, kind: HeuristicKind, variant: FilterVariant)
         .map(|trial| {
             let trace = scenario.trace(trial);
             let mut mapper = build_scheduler(kind, variant, scenario, trial);
-            Simulation::new(scenario, &trace).run(mapper.as_mut()).missed()
+            Simulation::new(scenario, &trace)
+                .run(mapper.as_mut())
+                .missed()
         })
         .sum();
     total as f64 / TRIALS as f64
@@ -91,7 +93,11 @@ fn filtered_random_is_competitive_with_the_best() {
     // Random lands within a few percent of filtered LL.
     let s = scenario();
     let window = s.workload().window as f64;
-    let random = mean_missed(&s, HeuristicKind::Random, FilterVariant::EnergyAndRobustness);
+    let random = mean_missed(
+        &s,
+        HeuristicKind::Random,
+        FilterVariant::EnergyAndRobustness,
+    );
     let ll = mean_missed(
         &s,
         HeuristicKind::LightestLoad,

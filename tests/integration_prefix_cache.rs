@@ -17,7 +17,8 @@ fn run_pair(
     let scenario = Scenario::small_for_tests(master);
     let trace = scenario.trace(trial);
     let mut cached = build_scheduler(kind, variant, &scenario, trial);
-    let mut uncached = Box::new((*build_scheduler(kind, variant, &scenario, trial)).without_prefix_cache());
+    let mut uncached =
+        Box::new((*build_scheduler(kind, variant, &scenario, trial)).without_prefix_cache());
     let a = Simulation::new(&scenario, &trace).run(cached.as_mut());
     let b = Simulation::new(&scenario, &trace).run(uncached.as_mut());
     (a, b)
@@ -25,11 +26,22 @@ fn run_pair(
 
 fn assert_semantically_identical(a: &TrialResult, b: &TrialResult, label: &str) {
     assert_eq!(a.outcomes(), b.outcomes(), "{label}: outcomes diverged");
-    assert_eq!(a.total_energy(), b.total_energy(), "{label}: energy diverged");
-    assert_eq!(a.exhausted_at(), b.exhausted_at(), "{label}: exhaustion diverged");
+    assert_eq!(
+        a.total_energy(),
+        b.total_energy(),
+        "{label}: energy diverged"
+    );
+    assert_eq!(
+        a.exhausted_at(),
+        b.exhausted_at(),
+        "{label}: exhaustion diverged"
+    );
     assert_eq!(a.makespan(), b.makespan(), "{label}: makespan diverged");
     let (ta, tb) = (a.telemetry(), b.telemetry());
-    assert_eq!(ta.queue_depth, tb.queue_depth, "{label}: queue depth diverged");
+    assert_eq!(
+        ta.queue_depth, tb.queue_depth,
+        "{label}: queue depth diverged"
+    );
     assert_eq!(ta.busy_cores, tb.busy_cores, "{label}: busy cores diverged");
     assert_eq!(ta.power, tb.power, "{label}: power timeline diverged");
 }

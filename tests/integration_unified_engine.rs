@@ -24,10 +24,10 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use ecds::prelude::*;
-use ecds::ext::{run_batch, BatchPolicy, BatchEdf, BatchMaxRho, BatchView};
-use ecds::sim::{CoreState, EnergyAccountant, EventKind, EventQueue, ExecutingTask, QueuedTask};
+use ecds::ext::{run_batch, BatchEdf, BatchMaxRho, BatchPolicy, BatchView};
 use ecds::pmf::Time;
+use ecds::prelude::*;
+use ecds::sim::{CoreState, EnergyAccountant, EventKind, EventQueue, ExecutingTask, QueuedTask};
 
 // ---------------------------------------------------------------------------
 // Reference engine 1: the pre-refactor immediate-mode loop, verbatim.
@@ -167,7 +167,13 @@ fn legacy_immediate(
         .energy_budget
         .and_then(|budget| accountant.exhaustion_time(cluster, budget));
 
-    TrialResult::new_for_alternative_engines(outcomes, total_energy, exhausted_at, end_time, telemetry)
+    TrialResult::new_for_alternative_engines(
+        outcomes,
+        total_energy,
+        exhausted_at,
+        end_time,
+        telemetry,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -194,8 +200,7 @@ impl Ord for QueuedEv {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -316,7 +321,13 @@ fn legacy_batch(
     let exhausted_at = cfg
         .energy_budget
         .and_then(|b| accountant.exhaustion_time(cluster, b));
-    TrialResult::new_for_alternative_engines(outcomes, total_energy, exhausted_at, end_time, telemetry)
+    TrialResult::new_for_alternative_engines(
+        outcomes,
+        total_energy,
+        exhausted_at,
+        end_time,
+        telemetry,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -325,11 +336,22 @@ fn legacy_batch(
 
 fn assert_bit_identical(a: &TrialResult, b: &TrialResult, label: &str) {
     assert_eq!(a.outcomes(), b.outcomes(), "{label}: outcomes diverged");
-    assert_eq!(a.total_energy(), b.total_energy(), "{label}: energy diverged");
-    assert_eq!(a.exhausted_at(), b.exhausted_at(), "{label}: exhaustion diverged");
+    assert_eq!(
+        a.total_energy(),
+        b.total_energy(),
+        "{label}: energy diverged"
+    );
+    assert_eq!(
+        a.exhausted_at(),
+        b.exhausted_at(),
+        "{label}: exhaustion diverged"
+    );
     assert_eq!(a.makespan(), b.makespan(), "{label}: makespan diverged");
     let (ta, tb) = (a.telemetry(), b.telemetry());
-    assert_eq!(ta.queue_depth, tb.queue_depth, "{label}: queue depth diverged");
+    assert_eq!(
+        ta.queue_depth, tb.queue_depth,
+        "{label}: queue depth diverged"
+    );
     assert_eq!(ta.busy_cores, tb.busy_cores, "{label}: busy cores diverged");
     assert_eq!(ta.power, tb.power, "{label}: power timeline diverged");
     assert_eq!(ta.mapper, tb.mapper, "{label}: mapper stats diverged");
@@ -403,10 +425,8 @@ fn immediate_matches_legacy_with_cancel_overdue() {
         any_cancelled |= b.cancelled() > 0;
 
         // And with the real scheduler, which discards as well as cancels.
-        let mut old =
-            build_scheduler(HeuristicKind::Random, FilterVariant::Energy, &scenario, 0);
-        let mut new =
-            build_scheduler(HeuristicKind::Random, FilterVariant::Energy, &scenario, 0);
+        let mut old = build_scheduler(HeuristicKind::Random, FilterVariant::Energy, &scenario, 0);
+        let mut new = build_scheduler(HeuristicKind::Random, FilterVariant::Energy, &scenario, 0);
         let a = legacy_immediate(&scenario, &trace, old.as_mut());
         let b = Simulation::new(&scenario, &trace).run(new.as_mut());
         assert_bit_identical(&a, &b, &format!("cancel_overdue scheduler seed {master}"));
@@ -478,7 +498,11 @@ fn tie_break_unification_is_the_only_ordering_delta() {
         seq: 1,
         ev: Ev::Completion { core: 0, task: 0 },
     });
-    assert_eq!(heap.pop().unwrap().ev, Ev::Arrival(1), "legacy: insertion order only");
+    assert_eq!(
+        heap.pop().unwrap().ev,
+        Ev::Arrival(1),
+        "legacy: insertion order only"
+    );
 
     // Unified queue: the completion wins the tie regardless of insertion
     // order, so a core freed at instant t is visible to work mapped at t.

@@ -112,7 +112,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` with a borrowed input under `{group}/{id}`.
-    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -190,6 +195,9 @@ struct MeasuredTimes {
 
 impl Bencher {
     /// Runs `routine` repeatedly and records per-iteration wall time.
+    // Timing benchmark bodies is this crate's whole job; the workspace-wide
+    // wall-clock ban (clippy.toml, ecds-lint R2) exempts bench harnesses.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,

@@ -1,0 +1,984 @@
+//! Offline stand-in for the `proc-macro2` crate (see DESIGN.md §6, §9).
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the external `proc-macro2` dependency is replaced by this vendored
+//! subset: a standalone Rust lexer that turns source text into the familiar
+//! [`TokenStream`] / [`TokenTree`] shape with line/column [`Span`]s. It
+//! implements exactly the surface the `ecds-lint` static-analysis pass (and
+//! the vendored `syn`/`quote` stand-ins built on top of it) consume:
+//!
+//! - [`TokenStream`]: `FromStr` lexing, iteration, `Display`.
+//! - [`TokenTree`]: `Group` / `Ident` / `Punct` / `Literal`, all spanned.
+//! - [`Span`]: 1-based line, 0-based column of the token start and end.
+//!
+//! Unlike the real crate there is no `proc_macro` bridge, no call-site
+//! hygiene, and no span joining — spans are plain source coordinates, which
+//! is precisely what a file-oriented linter needs for `file:line:col`
+//! diagnostics.
+//!
+//! The lexer understands the full token-level grammar the workspace uses:
+//! line/doc and nested block comments (skipped), raw identifiers, raw /
+//! byte / C strings, char literals vs. lifetimes, float literals vs. range
+//! and method-call dots (`1.0` vs `1..2` vs `1.max(2)`), and joint/alone
+//! punctuation spacing so multi-character operators (`==`, `!=`, `+=`,
+//! `->`) can be reassembled faithfully.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A line/column pair identifying a position in the lexed source.
+///
+/// `line` is 1-based and `column` is 0-based, matching the real
+/// `proc-macro2` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based UTF-8 character column within the line.
+    pub column: usize,
+}
+
+/// The source region a token was lexed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: LineColumn,
+    end: LineColumn,
+}
+
+impl Span {
+    /// A span pointing at the start of the source (used for synthesized
+    /// tokens).
+    pub fn call_site() -> Self {
+        Span {
+            start: LineColumn { line: 1, column: 0 },
+            end: LineColumn { line: 1, column: 0 },
+        }
+    }
+
+    /// Where the token begins.
+    pub fn start(&self) -> LineColumn {
+        self.start
+    }
+
+    /// Where the token ends (exclusive).
+    pub fn end(&self) -> LineColumn {
+        self.end
+    }
+}
+
+/// How a [`Punct`] relates to the following token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// The next character continues a multi-character operator (`=` in
+    /// `==` before the final char).
+    Joint,
+    /// The operator ends here.
+    Alone,
+}
+
+/// The delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+    /// An implicit delimiter (never produced by this lexer; kept for API
+    /// parity).
+    None,
+}
+
+/// A word: keyword, identifier, or raw identifier (`r#type` is stored as
+/// `type` with [`Ident::is_raw`] set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    sym: String,
+    raw: bool,
+    span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with the given span.
+    pub fn new(sym: &str, span: Span) -> Self {
+        Ident {
+            sym: sym.to_string(),
+            raw: false,
+            span,
+        }
+    }
+
+    /// The identifier text, without any `r#` prefix.
+    pub fn as_str(&self) -> &str {
+        &self.sym
+    }
+
+    /// Whether this was written as a raw identifier (`r#ident`).
+    pub fn is_raw(&self) -> bool {
+        self.raw
+    }
+
+    /// The source location.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.raw {
+            write!(f, "r#{}", self.sym)
+        } else {
+            f.write_str(&self.sym)
+        }
+    }
+}
+
+/// A single punctuation character plus its [`Spacing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// Creates a punctuation token with the given span.
+    pub fn new(ch: char, spacing: Spacing, span: Span) -> Self {
+        Punct { ch, spacing, span }
+    }
+
+    /// The punctuation character.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next token continues this operator.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The source location.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ch)
+    }
+}
+
+/// A literal token: number, string, raw string, byte string, or char. The
+/// exact source text is preserved and returned by its `Display` impl.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    repr: String,
+    span: Span,
+}
+
+impl Literal {
+    /// Creates a literal from its source text.
+    pub fn new(repr: &str, span: Span) -> Self {
+        Literal {
+            repr: repr.to_string(),
+            span,
+        }
+    }
+
+    /// The source location.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A delimited token sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// Creates a group from a delimiter and inner stream.
+    pub fn new(delimiter: Delimiter, stream: TokenStream) -> Self {
+        Group {
+            delimiter,
+            stream,
+            span: Span::call_site(),
+        }
+    }
+
+    /// Which bracket pair delimits the group.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    pub fn stream(&self) -> TokenStream {
+        self.stream.clone()
+    }
+
+    /// Borrow the inner tokens without cloning (lint extension; the real
+    /// crate only offers the cloning [`Group::stream`]).
+    pub fn tokens(&self) -> &[TokenTree] {
+        self.stream.tokens()
+    }
+
+    /// The source location, from opening to closing delimiter.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close) = match self.delimiter {
+            Delimiter::Parenthesis => ("(", ")"),
+            Delimiter::Brace => ("{ ", " }"),
+            Delimiter::Bracket => ("[", "]"),
+            Delimiter::None => ("", ""),
+        };
+        write!(f, "{open}{}{close}", self.stream)
+    }
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenTree {
+    /// A delimited subsequence.
+    Group(Group),
+    /// A word.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The source location of the token.
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+impl fmt::Display for TokenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenTree::Group(g) => g.fmt(f),
+            TokenTree::Ident(i) => i.fmt(f),
+            TokenTree::Punct(p) => p.fmt(f),
+            TokenTree::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+/// A sequence of [`TokenTree`]s, producible from source text via
+/// [`FromStr`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TokenStream {
+    tokens: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Borrow the tokens (lint extension; the real crate requires
+    /// `clone().into_iter()`).
+    pub fn tokens(&self) -> &[TokenTree] {
+        &self.tokens
+    }
+}
+
+impl From<Vec<TokenTree>> for TokenStream {
+    fn from(tokens: Vec<TokenTree>) -> Self {
+        TokenStream { tokens }
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.into_iter()
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.tokens {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            t.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A lexing failure: unbalanced delimiters, an unterminated literal or
+/// comment, or a character outside the token grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    message: String,
+    span: Span,
+}
+
+impl LexError {
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where lexing failed.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.span.start.line, self.span.start.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<Self, LexError> {
+        Lexer::new(src).lex_all()
+    }
+}
+
+/// Characters that may participate in multi-character operators; a punct
+/// immediately followed by one of these is [`Spacing::Joint`].
+const OP_CHARS: &[char] = &[
+    '+', '-', '*', '/', '%', '^', '!', '&', '|', '<', '>', '=', '.', ':', '#', '?', '@', '~', '$',
+];
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        // Strip an optional BOM and shebang line, which are legal file
+        // prefixes but not tokens.
+        let src = src.strip_prefix('\u{feff}').unwrap_or(src);
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 0,
+            src,
+        }
+    }
+
+    fn here(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn span_from(&self, start: LineColumn) -> Span {
+        Span {
+            start,
+            end: self.here(),
+        }
+    }
+
+    fn error(&self, start: LineColumn, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 0;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lex_all(mut self) -> Result<TokenStream, LexError> {
+        if self.src.starts_with("#!") && !self.src.starts_with("#![") {
+            while let Some(c) = self.peek() {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let tokens = self.lex_until(None)?;
+        Ok(TokenStream { tokens })
+    }
+
+    /// Lexes tokens until the closing delimiter (or end of input when
+    /// `close` is `None`).
+    fn lex_until(&mut self, close: Option<char>) -> Result<Vec<TokenTree>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                return match close {
+                    None => Ok(out),
+                    Some(c) => {
+                        Err(self.error(start, format!("unclosed delimiter, expected `{c}`")))
+                    }
+                };
+            };
+            match c {
+                ')' | ']' | '}' => {
+                    return if Some(c) == close {
+                        self.bump();
+                        Ok(out)
+                    } else {
+                        Err(self.error(start, format!("unexpected closing delimiter `{c}`")))
+                    };
+                }
+                '(' | '[' | '{' => {
+                    self.bump();
+                    let (delim, closer) = match c {
+                        '(' => (Delimiter::Parenthesis, ')'),
+                        '[' => (Delimiter::Bracket, ']'),
+                        _ => (Delimiter::Brace, '}'),
+                    };
+                    let inner = self.lex_until(Some(closer))?;
+                    out.push(TokenTree::Group(Group {
+                        delimiter: delim,
+                        stream: TokenStream { tokens: inner },
+                        span: self.span_from(start),
+                    }));
+                }
+                _ if is_ident_start(c) => out.push(self.lex_word(start)?),
+                _ if c.is_ascii_digit() => out.push(self.lex_number(start)?),
+                '"' => out.push(self.lex_string(start)?),
+                '\'' => self.lex_quote(start, &mut out)?,
+                _ if OP_CHARS.contains(&c) || c == ',' || c == ';' => {
+                    self.bump();
+                    let joint = matches!(self.peek(), Some(n) if OP_CHARS.contains(&n));
+                    out.push(TokenTree::Punct(Punct {
+                        ch: c,
+                        spacing: if joint {
+                            Spacing::Joint
+                        } else {
+                            Spacing::Alone
+                        },
+                        span: self.span_from(start),
+                    }));
+                }
+                _ => return Err(self.error(start, format!("unexpected character `{c}`"))),
+            }
+        }
+    }
+
+    /// Skips whitespace, line comments (including doc comments), and
+    /// nested block comments.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lexes an identifier, keyword, raw identifier, or prefixed literal
+    /// (`r"..."`, `b"..."`, `b'x'`, `br#"..."#`).
+    fn lex_word(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        // Raw identifier.
+        if self.peek() == Some('r')
+            && self.peek_at(1) == Some('#')
+            && self.peek_at(2).is_some_and(is_ident_start)
+        {
+            self.bump();
+            self.bump();
+            let sym = self.take_ident_body();
+            return Ok(TokenTree::Ident(Ident {
+                sym,
+                raw: true,
+                span: self.span_from(start),
+            }));
+        }
+        // Raw / byte / C string prefixes.
+        let prefix: String = {
+            let mut p = String::new();
+            for off in 0..3 {
+                match self.peek_at(off) {
+                    Some(c @ ('r' | 'b' | 'c')) if !p.contains(c) => p.push(c),
+                    _ => break,
+                }
+            }
+            p
+        };
+        if !prefix.is_empty() {
+            let after = self.peek_at(prefix.len());
+            if after == Some('"') || (prefix.ends_with('r') && after == Some('#')) {
+                for _ in 0..prefix.len() {
+                    self.bump();
+                }
+                return if prefix.contains('r') {
+                    self.lex_raw_string(start, &prefix)
+                } else {
+                    self.lex_string_body(start, &prefix)
+                };
+            }
+            if prefix == "b" && after == Some('\'') {
+                self.bump();
+                self.bump();
+                return self.lex_char_body(start, "b'");
+            }
+        }
+        let sym = self.take_ident_body();
+        Ok(TokenTree::Ident(Ident {
+            sym,
+            raw: false,
+            span: self.span_from(start),
+        }))
+    }
+
+    fn take_ident_body(&mut self) -> String {
+        let mut sym = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                sym.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        sym
+    }
+
+    /// Lexes a number literal: integer or float, with radix prefixes,
+    /// underscores, exponents, and type suffixes. Dots are consumed only
+    /// when they begin a fraction — `1..2` and `1.max(2)` leave the dot to
+    /// the punct lexer.
+    fn lex_number(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        let mut repr = String::new();
+        let radix_prefixed = self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'));
+        if radix_prefixed {
+            repr.push(self.bump().unwrap());
+            repr.push(self.bump().unwrap());
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    repr.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(TokenTree::Literal(Literal {
+                repr,
+                span: self.span_from(start),
+            }));
+        }
+        self.take_digits(&mut repr);
+        // Fraction: a dot followed by neither a second dot (range) nor an
+        // identifier start (method call / field access).
+        if self.peek() == Some('.') {
+            let next = self.peek_at(1);
+            let is_fraction = !matches!(next, Some(c) if c == '.' || is_ident_start(c));
+            if is_fraction {
+                repr.push('.');
+                self.bump();
+                self.take_digits(&mut repr);
+            }
+        }
+        // Exponent: e/E [+-] digits; only if digits follow, otherwise the
+        // `e` belongs to a suffix (or is a lone ident, which Rust rejects
+        // but we tolerate as a suffix).
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let (sign, digit_off) = match self.peek_at(1) {
+                Some('+') | Some('-') => (true, 2),
+                _ => (false, 1),
+            };
+            if self.peek_at(digit_off).is_some_and(|c| c.is_ascii_digit()) {
+                repr.push(self.bump().unwrap());
+                if sign {
+                    repr.push(self.bump().unwrap());
+                }
+                self.take_digits(&mut repr);
+            }
+        }
+        // Type suffix (`f64`, `u32`, `usize`, ...).
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                repr.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: self.span_from(start),
+        }))
+    }
+
+    fn take_digits(&mut self, repr: &mut String) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                repr.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lex_string(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        self.lex_string_body(start, "")
+    }
+
+    /// Lexes a `"..."` body (the opening quote not yet consumed when
+    /// `prefix` is empty; for `b"` the prefix chars are already consumed).
+    fn lex_string_body(&mut self, start: LineColumn, prefix: &str) -> Result<TokenTree, LexError> {
+        let mut repr = String::from(prefix);
+        if !self.eat('"') {
+            return Err(self.error(start, "expected `\"`"));
+        }
+        repr.push('"');
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    repr.push('\\');
+                    match self.bump() {
+                        Some(c) => repr.push(c),
+                        None => return Err(self.error(start, "unterminated string escape")),
+                    }
+                }
+                Some('"') => {
+                    repr.push('"');
+                    break;
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.error(start, "unterminated string literal")),
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: self.span_from(start),
+        }))
+    }
+
+    /// Lexes `r"..."` / `r#"..."#` (prefix chars already consumed).
+    fn lex_raw_string(&mut self, start: LineColumn, prefix: &str) -> Result<TokenTree, LexError> {
+        let mut repr = String::from(prefix);
+        let mut hashes = 0usize;
+        while self.eat('#') {
+            repr.push('#');
+            hashes += 1;
+        }
+        if !self.eat('"') {
+            return Err(self.error(start, "expected `\"` after raw string prefix"));
+        }
+        repr.push('"');
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    repr.push('"');
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        repr.push('#');
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.error(start, "unterminated raw string literal")),
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: self.span_from(start),
+        }))
+    }
+
+    /// Disambiguates `'` between a lifetime (`'a`) and a char literal
+    /// (`'a'`, `'\n'`). A lifetime lexes as a Joint `'` punct followed by
+    /// an ident, matching the real crate.
+    fn lex_quote(&mut self, start: LineColumn, out: &mut Vec<TokenTree>) -> Result<(), LexError> {
+        let one = self.peek_at(1);
+        let two = self.peek_at(2);
+        let is_lifetime = one.is_some_and(is_ident_start) && two != Some('\'');
+        if is_lifetime {
+            self.bump();
+            out.push(TokenTree::Punct(Punct {
+                ch: '\'',
+                spacing: Spacing::Joint,
+                span: self.span_from(start),
+            }));
+            let word_start = self.here();
+            let sym = self.take_ident_body();
+            out.push(TokenTree::Ident(Ident {
+                sym,
+                raw: false,
+                span: self.span_from(word_start),
+            }));
+            Ok(())
+        } else {
+            self.bump();
+            let lit = self.lex_char_body(start, "'")?;
+            out.push(lit);
+            Ok(())
+        }
+    }
+
+    /// Lexes the remainder of a char (or byte-char) literal, opening quote
+    /// already consumed.
+    fn lex_char_body(&mut self, start: LineColumn, prefix: &str) -> Result<TokenTree, LexError> {
+        let mut repr = String::from(prefix);
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    repr.push('\\');
+                    match self.bump() {
+                        Some(c) => repr.push(c),
+                        None => return Err(self.error(start, "unterminated char escape")),
+                    }
+                }
+                Some('\'') => {
+                    repr.push('\'');
+                    break;
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.error(start, "unterminated char literal")),
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            repr,
+            span: self.span_from(start),
+        }))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<TokenTree> {
+        src.parse::<TokenStream>().expect("lexes").tokens().to_vec()
+    }
+
+    fn kinds(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .map(|t| match t {
+                TokenTree::Group(g) => format!("G{:?}", g.delimiter()),
+                TokenTree::Ident(i) => format!("I:{i}"),
+                TokenTree::Punct(p) => format!("P:{}", p.as_char()),
+                TokenTree::Literal(l) => format!("L:{l}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn floats_ranges_and_method_calls_disambiguate() {
+        assert_eq!(kinds("1.0"), vec!["L:1.0"]);
+        assert_eq!(kinds("1."), vec!["L:1."]);
+        assert_eq!(kinds("1..2"), vec!["L:1", "P:.", "P:.", "L:2"]);
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec!["L:1", "P:.", "I:max", "GParenthesis"]
+        );
+        assert_eq!(kinds("1e-3"), vec!["L:1e-3"]);
+        assert_eq!(kinds("2.5e10f64"), vec!["L:2.5e10f64"]);
+        assert_eq!(kinds("0xFF_u8"), vec!["L:0xFF_u8"]);
+        assert_eq!(kinds("1_000.5"), vec!["L:1_000.5"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(kinds("'a'"), vec!["L:'a'"]);
+        assert_eq!(kinds("'\\n'"), vec!["L:'\\n'"]);
+        assert_eq!(kinds("&'a str"), vec!["P:&", "P:'", "I:a", "I:str"]);
+        assert_eq!(kinds("b'x'"), vec!["L:b'x'"]);
+    }
+
+    #[test]
+    fn operator_spacing_is_joint_within_operators() {
+        let toks = lex("a == b");
+        let TokenTree::Punct(p1) = &toks[1] else {
+            panic!("expected punct")
+        };
+        let TokenTree::Punct(p2) = &toks[2] else {
+            panic!("expected punct")
+        };
+        assert_eq!((p1.as_char(), p1.spacing()), ('=', Spacing::Joint));
+        assert_eq!((p2.as_char(), p2.spacing()), ('=', Spacing::Alone));
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested_blocks() {
+        assert_eq!(kinds("a // line\nb"), vec!["I:a", "I:b"]);
+        assert_eq!(kinds("a /* x /* y */ z */ b"), vec!["I:a", "I:b"]);
+        assert_eq!(kinds("/// doc\nfn"), vec!["I:fn"]);
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        assert_eq!(kinds(r#""hi \" there""#), vec![r#"L:"hi \" there""#]);
+        assert_eq!(
+            kinds(r##"r#"raw "inner" text"#"##),
+            vec![r##"L:r#"raw "inner" text"#"##]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![r#"L:b"bytes""#]);
+    }
+
+    #[test]
+    fn groups_nest_and_spans_track_lines() {
+        let toks = lex("fn f() {\n    let x = 1;\n}");
+        assert_eq!(toks.len(), 4);
+        let TokenTree::Group(body) = &toks[3] else {
+            panic!("expected body group")
+        };
+        assert_eq!(body.delimiter(), Delimiter::Brace);
+        let inner = body.tokens();
+        assert_eq!(inner.len(), 5);
+        assert_eq!(inner[0].span().start().line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("r#type");
+        let TokenTree::Ident(i) = &toks[0] else {
+            panic!("expected ident")
+        };
+        assert_eq!(i.as_str(), "type");
+        assert!(i.is_raw());
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!("(a".parse::<TokenStream>().is_err());
+        assert!("a)".parse::<TokenStream>().is_err());
+        assert!("\"unterminated".parse::<TokenStream>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_the_lexer() {
+        let src = "pub fn f(x: &mut [u8; 4]) -> f64 { x[0] as f64 * 2.5e-1 }";
+        let first: TokenStream = src.parse().unwrap();
+        let second: TokenStream = first.to_string().parse().unwrap();
+        // Spans and joint/alone spacing differ after pretty-printing, so
+        // compare the canonical display form.
+        assert_eq!(first.to_string(), second.to_string());
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for the `quote` crate (see DESIGN.md §6, §9).
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the external `quote` dependency is replaced by this vendored subset:
+//! a [`quote!`] macro that stringifies its token arguments and relexes them
+//! through the vendored `proc-macro2`, producing a
+//! [`proc_macro2::TokenStream`]. That is exactly the surface the `ecds-lint`
+//! fixtures use to build token streams for rule tests.
+//!
+//! Unlike the real crate there is **no interpolation** — `#var` inside the
+//! macro body is passed through literally rather than spliced. None of the
+//! workspace's uses need interpolation; the stand-in exists so fixture code
+//! can construct token streams with source-like syntax.
+
+#![warn(missing_docs)]
+
+// Re-exported so the macro expansion can name the crate unambiguously.
+pub use proc_macro2;
+
+/// Builds a [`proc_macro2::TokenStream`] from literal Rust tokens.
+///
+/// The tokens are stringified at compile time and relexed at runtime;
+/// interpolation (`#var`) is not supported.
+#[macro_export]
+macro_rules! quote {
+    () => {
+        $crate::proc_macro2::TokenStream::new()
+    };
+    ($($tt:tt)+) => {
+        stringify!($($tt)+)
+            .parse::<$crate::proc_macro2::TokenStream>()
+            .expect("quote! body relexes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn empty_quote_is_empty() {
+        let ts = quote!();
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn tokens_roundtrip_through_stringify() {
+        let ts = quote!(
+            pub fn f(x: f64) -> bool {
+                x == 0.0
+            }
+        );
+        assert_eq!(ts.tokens().len(), 8);
+        assert!(ts.to_string().contains("0.0"));
+    }
+}

@@ -112,8 +112,12 @@ mod tests {
 
     #[test]
     fn seeded_streams_reproduce() {
-        let a: Vec<u64> = (0..8).map(|_| StdRng::seed_from_u64(7).next_u64()).collect();
-        let b: Vec<u64> = (0..8).map(|_| StdRng::seed_from_u64(7).next_u64()).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| StdRng::seed_from_u64(7).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| StdRng::seed_from_u64(7).next_u64())
+            .collect();
         assert_eq!(a, b);
     }
 

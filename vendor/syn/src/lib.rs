@@ -1,0 +1,928 @@
+//! Offline stand-in for the `syn` crate (see DESIGN.md §6, §9).
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the external `syn` dependency is replaced by this vendored subset: an
+//! **item-level** Rust parser over the vendored `proc-macro2` token trees.
+//! It recognizes exactly the structure the `ecds-lint` static-analysis pass
+//! needs to enforce its rules:
+//!
+//! - [`parse_file`] → [`File`] with a recursive list of [`Item`]s;
+//! - functions ([`ItemFn`]) with outer attributes, visibility, a parsed
+//!   receiver (`&mut self` detection for the epoch rule), and the body kept
+//!   as a raw token stream for rule scanning;
+//! - impl blocks ([`ItemImpl`]) with the implemented trait (if any), the
+//!   base identifier of the self type, and recursively parsed members;
+//! - modules ([`ItemMod`]) with recursively parsed inline content, so
+//!   `#[cfg(test)] mod tests { ... }` regions can be classified;
+//! - everything else ([`ItemVerbatim`]): structs, enums, traits, consts,
+//!   macros — kept as spanned token streams so token-level rules still see
+//!   their contents.
+//!
+//! Expression-level parsing, generics modeling, and the `parse_quote!` /
+//! visitor machinery of the real crate are intentionally absent: the lint
+//! rules operate on token patterns with item context, which this subset
+//! provides. A file that fails to parse yields an [`Error`] so the linter
+//! can refuse to certify it rather than silently passing.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use proc_macro2::{Delimiter, Spacing, Span, TokenStream, TokenTree};
+
+/// A parse failure, with the source position where it occurred.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    span: Span,
+}
+
+impl Error {
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where parsing failed.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.span.start().line,
+            self.span.start().column,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An outer (`#[...]`) or inner (`#![...]`) attribute.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// The attribute path as written (`cfg`, `derive`, `allow`,
+    /// `cfg_attr`, ...). Multi-segment paths join with `::`.
+    pub path: String,
+    /// The tokens following the path (usually one parenthesized group or
+    /// `= value` tokens); empty for bare attributes like `#[test]`.
+    pub tokens: TokenStream,
+    /// Whether this was an inner attribute (`#![...]`).
+    pub inner: bool,
+    /// The attribute's source location.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// Whether any token inside the attribute arguments equals `word` —
+    /// e.g. `attr.path == "cfg" && attr.contains_word("test")` detects
+    /// `#[cfg(test)]`, `#[cfg(all(test, unix))]`, etc.
+    pub fn contains_word(&self, word: &str) -> bool {
+        fn walk(tokens: &[TokenTree], word: &str) -> bool {
+            tokens.iter().any(|t| match t {
+                TokenTree::Ident(i) => i.as_str() == word,
+                TokenTree::Group(g) => walk(g.tokens(), word),
+                _ => false,
+            })
+        }
+        walk(self.tokens.tokens(), word)
+    }
+}
+
+/// Item visibility: only the public/private distinction is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    Public,
+    /// No visibility qualifier.
+    Inherited,
+}
+
+/// The self parameter of a method, when present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receiver {
+    /// `&self` / `&mut self` (as opposed to by-value `self`).
+    pub reference: bool,
+    /// `&mut self` or `mut self`.
+    pub mutable: bool,
+}
+
+/// A function signature: name, receiver, and raw input/output tokens.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// The function name.
+    pub ident: String,
+    /// The self parameter, if this is a method.
+    pub receiver: Option<Receiver>,
+    /// The parenthesized argument tokens (including the receiver).
+    pub inputs: TokenStream,
+    /// The tokens after `->`, empty for `()` returns.
+    pub output: TokenStream,
+    /// The signature's source location (at the `fn` keyword).
+    pub span: Span,
+}
+
+/// A function item (free function or impl/trait method).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// `pub` or inherited.
+    pub vis: Visibility,
+    /// Name, receiver, inputs, output.
+    pub sig: Signature,
+    /// The body tokens (contents of the brace group), or `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<TokenStream>,
+    /// The item's source location.
+    pub span: Span,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// `Some(path)` for trait impls (`impl Trait for Type`), rendered as
+    /// the trait path's display string.
+    pub trait_path: Option<String>,
+    /// The base identifier of the self type: `CoreState` for
+    /// `impl<'a> ecds_sim::CoreState`, ignoring generics.
+    pub self_ty: String,
+    /// The impl members, recursively parsed (methods become
+    /// [`Item::Fn`]).
+    pub items: Vec<Item>,
+    /// The item's source location.
+    pub span: Span,
+}
+
+/// A `mod` item.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Outer attributes (where `#[cfg(test)]` lives).
+    pub attrs: Vec<Attribute>,
+    /// The module name.
+    pub ident: String,
+    /// Inline content, recursively parsed; `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+    /// The item's source location.
+    pub span: Span,
+}
+
+/// A `use` declaration, tree kept as raw tokens.
+#[derive(Debug, Clone)]
+pub struct ItemUse {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The tokens between `use` and `;`.
+    pub tree: TokenStream,
+    /// The item's source location.
+    pub span: Span,
+}
+
+/// Any item this subset does not model structurally (structs, enums,
+/// traits, consts, statics, type aliases, macros). The tokens are kept so
+/// token-level rules still scan their contents.
+#[derive(Debug, Clone)]
+pub struct ItemVerbatim {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The leading keyword (`struct`, `enum`, `trait`, `const`, ...) or
+    /// `"tokens"` for unrecognized forms.
+    pub kind: String,
+    /// The item's name, when one directly follows the keyword.
+    pub ident: Option<String>,
+    /// Every token of the item after the attributes.
+    pub tokens: TokenStream,
+    /// The item's source location.
+    pub span: Span,
+}
+
+/// One top-level (or impl/mod-nested) item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A function or method.
+    Fn(ItemFn),
+    /// An impl block.
+    Impl(ItemImpl),
+    /// A module.
+    Mod(ItemMod),
+    /// A use declaration.
+    Use(ItemUse),
+    /// Anything else, kept as tokens.
+    Verbatim(ItemVerbatim),
+}
+
+impl Item {
+    /// The item's outer attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Mod(i) => &i.attrs,
+            Item::Use(i) => &i.attrs,
+            Item::Verbatim(i) => &i.attrs,
+        }
+    }
+
+    /// The item's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Fn(i) => i.span,
+            Item::Impl(i) => i.span,
+            Item::Mod(i) => i.span,
+            Item::Use(i) => i.span,
+            Item::Verbatim(i) => i.span,
+        }
+    }
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner attributes of the file (`#![warn(missing_docs)]`, ...).
+    pub attrs: Vec<Attribute>,
+    /// The file's items, in source order.
+    pub items: Vec<Item>,
+}
+
+/// Parses Rust source text into a [`File`].
+pub fn parse_file(src: &str) -> Result<File> {
+    let stream: TokenStream = src.parse().map_err(|e: proc_macro2::LexError| Error {
+        message: e.message().to_string(),
+        span: e.span(),
+    })?;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut parser = Parser::new(&tokens);
+    let mut inner_attrs = Vec::new();
+    let items = parser.parse_items(&mut inner_attrs)?;
+    Ok(File {
+        attrs: inner_attrs,
+        items,
+    })
+}
+
+/// Keywords that may precede `fn` in a qualified function item.
+const FN_QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern", "default"];
+
+struct Parser<'a> {
+    tokens: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [TokenTree]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn here_span(&self) -> Span {
+        self.peek()
+            .or_else(|| self.tokens.last())
+            .map(|t| t.span())
+            .unwrap_or_else(Span::call_site)
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+            span: self.here_span(),
+        }
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.as_str() == word && !i.is_raw())
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Parses items until the tokens are exhausted. Inner attributes
+    /// encountered at the start are pushed to `inner_attrs`.
+    fn parse_items(&mut self, inner_attrs: &mut Vec<Attribute>) -> Result<Vec<Item>> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            // Inner attributes: `#` `!` `[...]`.
+            if self.is_punct('#')
+                && matches!(self.peek_at(1), Some(TokenTree::Punct(p)) if p.as_char() == '!')
+                && matches!(
+                    self.peek_at(2),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+                )
+            {
+                let span = self
+                    .peek()
+                    .map(|t| t.span())
+                    .unwrap_or_else(Span::call_site);
+                self.bump();
+                self.bump();
+                let Some(TokenTree::Group(g)) = self.bump() else {
+                    unreachable!("peeked bracket group")
+                };
+                inner_attrs.push(attribute_from_group(g, true, span));
+                continue;
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_item(&mut self) -> Result<Item> {
+        let attrs = self.parse_outer_attrs()?;
+        let span = self.here_span();
+        let vis = self.parse_visibility();
+
+        // Look past fn qualifiers (`pub const unsafe extern "C" fn ...`).
+        let mut probe = 0usize;
+        loop {
+            match self.peek_at(probe) {
+                Some(TokenTree::Ident(i)) if FN_QUALIFIERS.contains(&i.as_str()) => {
+                    probe += 1;
+                    // `extern "C"` carries an ABI string literal.
+                    if i.as_str() == "extern"
+                        && matches!(self.peek_at(probe), Some(TokenTree::Literal(_)))
+                    {
+                        probe += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if matches!(self.peek_at(probe), Some(TokenTree::Ident(i)) if i.as_str() == "fn") {
+            for _ in 0..probe {
+                self.bump();
+            }
+            return self.parse_fn(attrs, vis, span).map(Item::Fn);
+        }
+
+        if self.is_ident("impl") {
+            return self.parse_impl(attrs, span).map(Item::Impl);
+        }
+        if self.is_ident("mod") && matches!(self.peek_at(1), Some(TokenTree::Ident(_))) {
+            return self.parse_mod(attrs, span).map(Item::Mod);
+        }
+        if self.is_ident("use") {
+            self.bump();
+            let tree = self.take_until_semi();
+            return Ok(Item::Use(ItemUse { attrs, tree, span }));
+        }
+        self.parse_verbatim(attrs, span).map(Item::Verbatim)
+    }
+
+    fn parse_outer_attrs(&mut self) -> Result<Vec<Attribute>> {
+        let mut attrs = Vec::new();
+        while self.is_punct('#') {
+            let span = self.here_span();
+            match self.peek_at(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.bump();
+                    let Some(TokenTree::Group(g)) = self.bump() else {
+                        unreachable!("peeked bracket group")
+                    };
+                    attrs.push(attribute_from_group(g, false, span));
+                }
+                _ => return Err(self.error("expected `[` after `#`")),
+            }
+        }
+        Ok(attrs)
+    }
+
+    fn parse_visibility(&mut self) -> Visibility {
+        if self.is_ident("pub") {
+            self.bump();
+            // `pub(crate)` / `pub(super)` / `pub(in path)`.
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.bump();
+            }
+            Visibility::Public
+        } else {
+            Visibility::Inherited
+        }
+    }
+
+    /// Parses from the `fn` keyword (qualifiers already consumed).
+    fn parse_fn(&mut self, attrs: Vec<Attribute>, vis: Visibility, span: Span) -> Result<ItemFn> {
+        let fn_span = self.here_span();
+        self.bump(); // `fn`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.as_str().to_string(),
+            _ => return Err(self.error("expected function name after `fn`")),
+        };
+        self.skip_generics();
+        let inputs = match self.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                self.bump();
+                stream
+            }
+            _ => return Err(self.error(format!("expected `(` after `fn {ident}`"))),
+        };
+        // Return type + where clause: everything up to the body brace or a
+        // terminating `;` (bodyless trait method / extern declaration).
+        let mut output = Vec::new();
+        let body = loop {
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let stream = g.stream();
+                    self.bump();
+                    break Some(stream);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    self.bump();
+                    break None;
+                }
+                Some(t) => {
+                    output.push(t.clone());
+                    self.bump();
+                }
+                None => return Err(self.error(format!("unterminated function `{ident}`"))),
+            }
+        };
+        let receiver = parse_receiver(inputs.tokens());
+        Ok(ItemFn {
+            attrs,
+            vis,
+            sig: Signature {
+                ident,
+                receiver,
+                inputs,
+                output: TokenStream::from(output),
+                span: fn_span,
+            },
+            body,
+            span,
+        })
+    }
+
+    fn parse_impl(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<ItemImpl> {
+        self.bump(); // `impl`
+        self.skip_generics();
+        // Collect type tokens until the brace body; split at a top-level
+        // `for` (not `for<` HRTB) into trait path and self type.
+        let mut head: Vec<TokenTree> = Vec::new();
+        let body = loop {
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let stream = g.stream();
+                    self.bump();
+                    break stream;
+                }
+                Some(t) => {
+                    head.push(t.clone());
+                    self.bump();
+                }
+                None => return Err(self.error("unterminated impl block")),
+            }
+        };
+        // `where` clauses live between the type and the brace; drop them
+        // from the head before splitting.
+        if let Some(w) = head
+            .iter()
+            .position(|t| matches!(t, TokenTree::Ident(i) if i.as_str() == "where"))
+        {
+            head.truncate(w);
+        }
+        let for_pos = head.iter().enumerate().position(|(i, t)| {
+            matches!(t, TokenTree::Ident(id) if id.as_str() == "for")
+                && !matches!(
+                    head.get(i + 1),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                )
+        });
+        let (trait_path, ty_tokens) = match for_pos {
+            Some(i) => (
+                Some(TokenStream::from(head[..i].to_vec()).to_string()),
+                &head[i + 1..],
+            ),
+            None => (None, &head[..]),
+        };
+        let self_ty = type_base_ident(ty_tokens)
+            .ok_or_else(|| self.error("impl block with no self-type identifier"))?;
+        let mut body_parser = Parser::new(body.tokens());
+        let mut inner = Vec::new();
+        let items = body_parser.parse_items(&mut inner)?;
+        Ok(ItemImpl {
+            attrs,
+            trait_path,
+            self_ty,
+            items,
+            span,
+        })
+    }
+
+    fn parse_mod(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<ItemMod> {
+        self.bump(); // `mod`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.as_str().to_string(),
+            _ => return Err(self.error("expected module name after `mod`")),
+        };
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                self.bump();
+                Ok(ItemMod {
+                    attrs,
+                    ident,
+                    content: None,
+                    span,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                self.bump();
+                let mut body_parser = Parser::new(stream.tokens());
+                let mut inner = Vec::new();
+                let items = body_parser.parse_items(&mut inner)?;
+                Ok(ItemMod {
+                    attrs,
+                    ident,
+                    content: Some(items),
+                    span,
+                })
+            }
+            _ => Err(self.error(format!("expected `;` or `{{` after `mod {ident}`"))),
+        }
+    }
+
+    /// Parses an unmodeled item by consuming tokens to its natural end:
+    /// a top-level `;`, or a brace group for brace-terminated forms
+    /// (struct/enum/trait/macro definitions). `const`/`static`/`type`
+    /// items always run to the `;` so brace-delimited initializer
+    /// expressions are not mistaken for item bodies.
+    fn parse_verbatim(&mut self, attrs: Vec<Attribute>, span: Span) -> Result<ItemVerbatim> {
+        let kind = match self.peek() {
+            Some(TokenTree::Ident(i)) => i.as_str().to_string(),
+            _ => "tokens".to_string(),
+        };
+        let ident = match self.peek_at(1) {
+            Some(TokenTree::Ident(i)) if !matches!(kind.as_str(), "tokens") => {
+                Some(i.as_str().to_string())
+            }
+            _ => None,
+        };
+        let semi_only = matches!(kind.as_str(), "const" | "static" | "type" | "use")
+            || (kind == "extern"
+                && matches!(self.peek_at(1), Some(TokenTree::Ident(i)) if i.as_str() == "crate"));
+        let mut tokens = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    tokens.push(self.bump().unwrap().clone());
+                    break;
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && !semi_only => {
+                    tokens.push(self.bump().unwrap().clone());
+                    break;
+                }
+                Some(_) => tokens.push(self.bump().unwrap().clone()),
+                None => {
+                    if tokens.is_empty() {
+                        return Err(self.error("expected an item"));
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(ItemVerbatim {
+            attrs,
+            kind,
+            ident,
+            tokens: TokenStream::from(tokens),
+            span,
+        })
+    }
+
+    /// Skips a generic parameter list `<...>` if one starts here. Nested
+    /// angle brackets are tracked; `->` inside fn-pointer bounds is
+    /// handled by ignoring a `>` that closes an arrow.
+    fn skip_generics(&mut self) {
+        if !self.is_punct('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        let mut prev_arrow_head = false;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let ch = p.as_char();
+                    if ch == '<' {
+                        depth += 1;
+                    } else if ch == '>' && !prev_arrow_head {
+                        depth -= 1;
+                    }
+                    prev_arrow_head = ch == '-' && p.spacing() == Spacing::Joint;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    prev_arrow_head = false;
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn take_until_semi(&mut self) -> TokenStream {
+        let mut tokens = Vec::new();
+        while let Some(t) = self.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ';') {
+                self.bump();
+                break;
+            }
+            tokens.push(self.bump().unwrap().clone());
+        }
+        TokenStream::from(tokens)
+    }
+}
+
+fn attribute_from_group(group: &proc_macro2::Group, inner: bool, span: Span) -> Attribute {
+    let tokens: Vec<TokenTree> = group.tokens().to_vec();
+    // Path: leading idents joined by `::`.
+    let mut path = String::new();
+    let mut rest_start = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                if !path.is_empty() {
+                    path.push_str("::");
+                }
+                path.push_str(id.as_str());
+                rest_start = i + 1;
+                // A `::` continues the path.
+                if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+                    && matches!(tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+                {
+                    i += 3;
+                    continue;
+                }
+            }
+            _ => break,
+        }
+        break;
+    }
+    Attribute {
+        path,
+        tokens: TokenStream::from(tokens[rest_start..].to_vec()),
+        inner,
+        span,
+    }
+}
+
+/// Extracts the receiver from a parenthesized argument list, if the first
+/// argument is a form of `self`.
+fn parse_receiver(tokens: &[TokenTree]) -> Option<Receiver> {
+    let mut i = 0usize;
+    let mut reference = false;
+    if matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '&') {
+        reference = true;
+        i += 1;
+        // Optional lifetime: `'` `a`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '\'') {
+            i += 2;
+        }
+    }
+    let mut mutable = false;
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.as_str() == "mut") {
+        mutable = true;
+        i += 1;
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.as_str() == "self" => {
+            Some(Receiver { reference, mutable })
+        }
+        _ => None,
+    }
+}
+
+/// The base identifier of a type token sequence: the last path segment
+/// ident outside any angle brackets (`ecds_sim::CoreState<'a>` →
+/// `CoreState`).
+fn type_base_ident(tokens: &[TokenTree]) -> Option<String> {
+    let mut depth = 0i32;
+    let mut base = None;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Ident(i) if depth == 0 => base = Some(i.as_str().to_string()),
+            _ => {}
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_functions_with_receivers() {
+        let file = parse_file(
+            "pub struct S;\n\
+             impl S {\n\
+                 pub fn read(&self) -> u32 { 0 }\n\
+                 pub fn write(&mut self, x: u32) { self.epoch += 1; }\n\
+                 fn consume(self) {}\n\
+                 pub fn free() {}\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(file.items.len(), 2);
+        let Item::Impl(imp) = &file.items[1] else {
+            panic!("expected impl")
+        };
+        assert_eq!(imp.self_ty, "S");
+        assert!(imp.trait_path.is_none());
+        let fns: Vec<&ItemFn> = imp
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Fn(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fns.len(), 4);
+        assert_eq!(
+            fns[0].sig.receiver,
+            Some(Receiver {
+                reference: true,
+                mutable: false
+            })
+        );
+        assert_eq!(
+            fns[1].sig.receiver,
+            Some(Receiver {
+                reference: true,
+                mutable: true
+            })
+        );
+        assert_eq!(
+            fns[2].sig.receiver,
+            Some(Receiver {
+                reference: false,
+                mutable: false
+            })
+        );
+        assert_eq!(fns[3].sig.receiver, None);
+        assert!(fns[1].body.as_ref().unwrap().to_string().contains("epoch"));
+    }
+
+    #[test]
+    fn trait_impls_record_the_trait_path() {
+        let file = parse_file(
+            "impl Ord for Event { fn cmp(&self, other: &Self) -> Ordering { todo!() } }",
+        )
+        .unwrap();
+        let Item::Impl(imp) = &file.items[0] else {
+            panic!("expected impl")
+        };
+        assert_eq!(imp.trait_path.as_deref(), Some("Ord"));
+        assert_eq!(imp.self_ty, "Event");
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_base_type() {
+        let file =
+            parse_file("impl<'a, T: Clone> Wrapper<'a, T> { fn get(&self) -> &T { &self.0 } }")
+                .unwrap();
+        let Item::Impl(imp) = &file.items[0] else {
+            panic!("expected impl")
+        };
+        assert_eq!(imp.self_ty, "Wrapper");
+    }
+
+    #[test]
+    fn cfg_test_modules_parse_recursively() {
+        let file = parse_file(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 use super::*;\n\
+                 #[test]\n\
+                 fn t() { prod(); }\n\
+             }",
+        )
+        .unwrap();
+        let Item::Mod(m) = &file.items[1] else {
+            panic!("expected mod")
+        };
+        assert_eq!(m.ident, "tests");
+        assert_eq!(m.attrs.len(), 1);
+        assert_eq!(m.attrs[0].path, "cfg");
+        assert!(m.attrs[0].contains_word("test"));
+        let content = m.content.as_ref().unwrap();
+        assert_eq!(content.len(), 2);
+        let Item::Fn(f) = &content[1] else {
+            panic!("expected fn")
+        };
+        assert_eq!(f.attrs[0].path, "test");
+    }
+
+    #[test]
+    fn fn_qualifiers_and_where_clauses_parse() {
+        let file = parse_file(
+            "pub const unsafe fn dangerous() -> u8 { 0 }\n\
+             pub fn generic<T>(x: T) -> T where T: Clone { x }\n\
+             extern \"C\" { fn ffi(); }",
+        )
+        .unwrap();
+        assert_eq!(file.items.len(), 3);
+        let Item::Fn(f) = &file.items[0] else {
+            panic!("expected fn")
+        };
+        assert_eq!(f.sig.ident, "dangerous");
+        let Item::Fn(g) = &file.items[1] else {
+            panic!("expected fn")
+        };
+        assert_eq!(g.sig.ident, "generic");
+        assert!(g.sig.output.to_string().contains("where"));
+    }
+
+    #[test]
+    fn verbatim_items_keep_tokens_and_kind() {
+        let file = parse_file(
+            "const LIMIT: usize = { 3 + 4 };\n\
+             pub struct Tuple(pub f64);\n\
+             pub enum E { A, B }\n\
+             macro_rules! m { () => {}; }\n\
+             static S: u8 = 1;",
+        )
+        .unwrap();
+        assert_eq!(file.items.len(), 5);
+        let kinds: Vec<&str> = file
+            .items
+            .iter()
+            .map(|i| match i {
+                Item::Verbatim(v) => v.kind.as_str(),
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["const", "struct", "enum", "macro_rules", "static"]
+        );
+        let Item::Verbatim(c) = &file.items[0] else {
+            panic!("expected const")
+        };
+        assert_eq!(c.ident.as_deref(), Some("LIMIT"));
+        assert!(c.tokens.to_string().ends_with(';'));
+    }
+
+    #[test]
+    fn file_and_item_attributes_are_separated() {
+        let file = parse_file(
+            "#![warn(missing_docs)]\n\
+             #[derive(Debug, Clone)]\n\
+             pub struct S { pub x: f64 }",
+        )
+        .unwrap();
+        assert_eq!(file.attrs.len(), 1);
+        assert_eq!(file.attrs[0].path, "warn");
+        assert!(file.attrs[0].inner);
+        let Item::Verbatim(s) = &file.items[0] else {
+            panic!("expected struct")
+        };
+        assert_eq!(s.attrs.len(), 1);
+        assert_eq!(s.attrs[0].path, "derive");
+    }
+
+    #[test]
+    fn spans_point_at_source_lines() {
+        let file = parse_file("fn a() {}\n\nfn b() {}\n").unwrap();
+        assert_eq!(file.items[0].span().start().line, 1);
+        assert_eq!(file.items[1].span().start().line, 3);
+    }
+
+    #[test]
+    fn parse_errors_surface_instead_of_passing() {
+        assert!(parse_file("fn broken( {").is_err());
+        assert!(parse_file("impl {}").is_err());
+    }
+}

@@ -254,6 +254,33 @@ mod tests {
     }
 
     #[test]
+    fn dedup_counters_are_deterministic_across_thread_counts() {
+        // The deduplicating evaluator is the default, so this pins the
+        // satellite guarantee directly: with dedup enabled, fanning trials
+        // over more workers changes nothing — not even the per-trial
+        // mapper telemetry (class counts, skipped evaluations, cache
+        // counters are all part of `MapperStats`' `Eq`).
+        let scenario = Scenario::small_for_tests(13);
+        let mut cfg1 = ExperimentConfig::smoke(13, 3);
+        cfg1.threads = 1;
+        let mut cfg8 = ExperimentConfig::smoke(13, 3);
+        cfg8.threads = 8;
+        let a = ExperimentGrid::run(cfg1, &scenario);
+        let b = ExperimentGrid::run(cfg8, &scenario);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.missed, cb.missed);
+            assert_eq!(ca.energy, cb.energy);
+            assert_eq!(ca.discarded, cb.discarded);
+            assert_eq!(ca.mapper, cb.mapper, "telemetry diverged in {}", ca.label());
+            // And dedup really ran: every trial recorded mapping events.
+            assert!(ca
+                .mapper
+                .iter()
+                .all(|m| m.candidate_classes.is_some_and(|(_, events)| events > 0)));
+        }
+    }
+
+    #[test]
     fn grid_records_cache_counters_per_trial() {
         let g = smoke_grid();
         for cell in &g.cells {

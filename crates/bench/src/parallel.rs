@@ -3,8 +3,10 @@
 //! Simulation trials are embarrassingly parallel and read-only over the
 //! scenario, so `std::thread::scope` plus an atomic work index is all the
 //! machinery needed (no extra runtime dependencies; see the workspace
-//! dependency policy in DESIGN.md §6). Results arrive in index order
-//! regardless of scheduling, so output is deterministic.
+//! dependency policy in DESIGN.md §6). Workers claim indices in small
+//! contiguous chunks — one atomic RMW per chunk instead of per item — and
+//! results are returned in index order regardless of scheduling, so output
+//! is deterministic.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,26 +38,32 @@ where
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
     let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let workers = threads.min(count);
+    // Claim granularity: ~4 chunks per worker balances contention (one
+    // atomic RMW per chunk) against tail imbalance (the last chunks may
+    // land unevenly when per-item cost varies).
+    let chunk = (count / (workers * 4)).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= count {
+                'claim: loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= count {
                         break;
                     }
-                    match catch_unwind(AssertUnwindSafe(|| work(idx))) {
-                        Ok(value) => local.push((idx, value)),
-                        Err(payload) => {
-                            let mut slot = panic.lock().expect("panic slot");
-                            if slot.is_none() {
-                                *slot = Some(payload);
+                    for idx in start..(start + chunk).min(count) {
+                        match catch_unwind(AssertUnwindSafe(|| work(idx))) {
+                            Ok(value) => local.push((idx, value)),
+                            Err(payload) => {
+                                let mut slot = panic.lock().expect("panic slot");
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                // Park the index past the end so every
+                                // worker stops claiming new chunks.
+                                next.store(count, Ordering::Relaxed);
+                                break 'claim;
                             }
-                            // Park the index past the end so every worker
-                            // stops claiming new items.
-                            next.store(count, Ordering::Relaxed);
-                            break;
                         }
                     }
                 }
@@ -116,6 +124,23 @@ mod tests {
         let a = run_parallel(50, 1, |i| i * i);
         let b = run_parallel(50, 8, |i| i * i);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uneven_chunk_boundaries_cover_every_index_once() {
+        // 37 items over 2 workers claims in chunks of 4; the final partial
+        // chunk (36) and the overshooting claims past `count` must neither
+        // drop nor duplicate indices.
+        use std::sync::atomic::AtomicUsize;
+        let calls: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_parallel(37, 2, |i| {
+            calls[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..37).collect::<Vec<_>>());
+        for (i, c) in calls.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} claim count");
+        }
     }
 
     #[test]

@@ -175,6 +175,27 @@ pub fn render_kernel_summary(grid: &ExperimentGrid) -> String {
     )
 }
 
+/// One-line summary of candidate equivalence-class deduplication over the
+/// whole grid: mean classes per mapping event against the core count, plus
+/// the total (core, P-state) evaluations the partition skipped
+/// (DESIGN.md §11).
+pub fn render_dedup_summary(grid: &ExperimentGrid) -> String {
+    let stats = grid.cells.iter().flat_map(|c| &c.mapper);
+    let (classes, events) = stats
+        .clone()
+        .filter_map(|m| m.candidate_classes)
+        .fold((0u64, 0u64), |(c, e), (dc, de)| (c + dc, e + de));
+    if events == 0 {
+        return "Candidate dedup: disabled (per-core evaluation)\n".to_string();
+    }
+    let skipped: u64 = stats.map(|m| m.dedup_skipped_evaluations).sum();
+    format!(
+        "Candidate dedup: {:.1} classes per mapping event ({events} events), \
+         {skipped} duplicate evaluations skipped\n",
+        classes as f64 / events as f64,
+    )
+}
+
 /// Serializes every cell's raw per-trial data as CSV
 /// (`heuristic,variant,trial,missed,energy,discarded`).
 pub fn grid_csv(grid: &ExperimentGrid) -> String {
@@ -231,6 +252,7 @@ pub fn render_full_report(grid: &ExperimentGrid) -> String {
     out.push('\n');
     out.push_str(&render_cache_summary(grid));
     out.push_str(&render_kernel_summary(grid));
+    out.push_str(&render_dedup_summary(grid));
     out
 }
 
@@ -301,6 +323,18 @@ mod tests {
         let line = render_kernel_summary(g);
         assert!(line.contains("allocation-free convolutions"), "got: {line}");
         assert!(render_full_report(g).contains("Fused kernel:"));
+    }
+
+    #[test]
+    fn full_report_summarizes_candidate_dedup() {
+        let g = grid();
+        let line = render_dedup_summary(g);
+        assert!(line.contains("classes per mapping event"), "got: {line}");
+        assert!(
+            line.contains("duplicate evaluations skipped"),
+            "got: {line}"
+        );
+        assert!(render_full_report(g).contains("Candidate dedup:"));
     }
 
     #[test]

@@ -10,7 +10,11 @@ use crate::estimate::AssignmentEstimate;
 /// Candidates are produced in deterministic order (core-major, then
 /// P-state from `P0` to `P4`), which fixes tie-breaking behaviour across
 /// runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Like [`AssignmentEstimate`], deliberately not `PartialEq`: differential
+/// suites compare candidates with [`EvaluatedCandidate::bit_eq`] (exact
+/// `f64::to_bits` identity) rather than float `==`.
+#[derive(Debug, Clone, Copy)]
 pub struct EvaluatedCandidate {
     /// Flat core index.
     pub core: usize,
@@ -20,13 +24,27 @@ pub struct EvaluatedCandidate {
     pub est: AssignmentEstimate,
 }
 
+impl EvaluatedCandidate {
+    /// `true` iff the assignments match and the estimates are bit-identical
+    /// (see [`AssignmentEstimate::bit_eq`]).
+    pub fn bit_eq(&self, other: &Self) -> bool {
+        self.core == other.core && self.pstate == other.pstate && self.est.bit_eq(&other.est)
+    }
+}
+
+/// `true` iff both candidate streams have the same length and match
+/// pairwise under [`EvaluatedCandidate::bit_eq`] — the whole-stream
+/// identity the evaluator's differential suites assert.
+pub fn candidates_bit_eq(a: &[EvaluatedCandidate], b: &[EvaluatedCandidate]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bit_eq(y))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn candidate_carries_estimates() {
-        let c = EvaluatedCandidate {
+    fn candidate() -> EvaluatedCandidate {
+        EvaluatedCandidate {
             core: 3,
             pstate: PState::P2,
             est: AssignmentEstimate {
@@ -35,9 +53,53 @@ mod tests {
                 eec: 600.0,
                 rho: 0.75,
             },
-        };
+        }
+    }
+
+    #[test]
+    fn candidate_carries_estimates() {
+        let c = candidate();
         assert_eq!(c.core, 3);
         assert_eq!(c.pstate, PState::P2);
         assert_eq!(c.est.rho, 0.75);
+    }
+
+    #[test]
+    fn bit_eq_is_exact() {
+        let a = candidate();
+        let mut b = a;
+        assert!(a.bit_eq(&b));
+        assert!(a.est.bit_eq(&b.est));
+        // An ulp-level perturbation breaks bit equality…
+        b.est.ect = f64::from_bits(a.est.ect.to_bits() + 1);
+        assert!(!a.bit_eq(&b));
+        // …and so does a sign-of-zero difference float `==` would miss.
+        let mut c = a;
+        c.est.rho = 0.0;
+        let mut d = a;
+        d.est.rho = -0.0;
+        assert!(!c.bit_eq(&d));
+    }
+
+    #[test]
+    fn bit_eq_distinguishes_the_assignment_itself() {
+        let a = candidate();
+        let mut b = a;
+        b.core = 4;
+        assert!(!a.bit_eq(&b));
+        let mut c = a;
+        c.pstate = PState::P0;
+        assert!(!a.bit_eq(&c));
+    }
+
+    #[test]
+    fn slice_helper_requires_equal_lengths_and_pairs() {
+        let a = candidate();
+        assert!(candidates_bit_eq(&[a, a], &[a, a]));
+        assert!(!candidates_bit_eq(&[a, a], &[a]));
+        let mut b = a;
+        b.est.eec = 601.0;
+        assert!(!candidates_bit_eq(&[a], &[b]));
+        assert!(candidates_bit_eq(&[], &[]));
     }
 }

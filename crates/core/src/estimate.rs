@@ -3,16 +3,21 @@
 
 use std::cell::{Cell, RefCell};
 
-use ecds_cluster::PState;
+use ecds_cluster::{PState, NUM_PSTATES};
 use ecds_pmf::{Pmf, PmfScratch, Prob, ReductionPolicy, Time};
-use ecds_sim::SystemView;
+use ecds_sim::{PrefixStamp, SystemView};
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
 
 /// The four quantities Sec. V-A defines per assignment of task `z` to core
 /// `k` (of processor `j`, node `i`) in P-state `π` at time `t_l`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Deliberately *not* `PartialEq`: float `==` is the wrong relation for
+/// differential testing (NaN-hostile, and weaker than the bit identity the
+/// pipeline actually guarantees — `-0.0 == 0.0` would mask a real
+/// divergence). Compare with [`AssignmentEstimate::bit_eq`].
+#[derive(Debug, Clone, Copy)]
 pub struct AssignmentEstimate {
     /// `EET(i,j,k,π,z)`: expectation of the execution-time pmf.
     pub eet: Time,
@@ -22,6 +27,18 @@ pub struct AssignmentEstimate {
     pub eec: f64,
     /// `ρ(i,j,k,π,t_l,z)`: probability of finishing by the deadline.
     pub rho: Prob,
+}
+
+impl AssignmentEstimate {
+    /// `true` iff all four quantities match bit-for-bit (`f64::to_bits`) —
+    /// the identity differential suites assert, consistent with lint rule
+    /// R3's stance on float equality.
+    pub fn bit_eq(&self, other: &Self) -> bool {
+        self.eet.to_bits() == other.eet.to_bits()
+            && self.ect.to_bits() == other.ect.to_bits()
+            && self.eec.to_bits() == other.eec.to_bits()
+            && self.rho.to_bits() == other.rho.to_bits()
+    }
 }
 
 /// Computes the completion-time pmf of the *last pending* task on `core` at
@@ -160,6 +177,49 @@ struct CachedPrefix {
     /// [`prefix_with_validity`]).
     valid_until: Time,
     prefix: Option<Pmf>,
+    /// Bit-fingerprint of `prefix` (epoch-guarded; re-stamped on every
+    /// fill) — the fast equivalence-class key of DESIGN.md §11.
+    stamp: PrefixStamp,
+}
+
+/// The cache entry of `core`, which the caller has just refreshed via
+/// [`CandidateEvaluator::refresh_entry`].
+fn entry_of(entries: &[Option<CachedPrefix>], core: usize) -> &CachedPrefix {
+    entries[core].as_ref().unwrap()
+}
+
+/// Bit-identity of two optional queue prefixes: both absent (idle, empty
+/// cores), or present and impulse-for-impulse bit-identical.
+fn prefix_bit_eq(a: Option<&Pmf>, b: Option<&Pmf>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a.bit_eq(b),
+        _ => false,
+    }
+}
+
+/// One candidate equivalence class discovered during a mapping event: all
+/// cores on `node` whose queue prefixes are bit-identical to the
+/// representative's share these five estimates (DESIGN.md §11).
+#[derive(Debug, Clone, Copy)]
+struct DedupClass {
+    /// Owning node of every member (estimates depend on the core only
+    /// through its node).
+    node: usize,
+    /// Prefix fingerprint of every member (`None` for the idle class).
+    fingerprint: Option<u64>,
+    /// Lowest-index member — the core the estimates were evaluated on.
+    rep: usize,
+    /// The replicated per-P-state estimates, indexed by P-state.
+    ests: [AssignmentEstimate; NUM_PSTATES],
+}
+
+/// Reusable class storage for one mapping event. Cleared (capacity
+/// retained) at the start of every deduplicated `evaluate_all`, preserving
+/// the evaluator's one-allocation-per-call steady state.
+#[derive(Debug, Default)]
+struct DedupScratch {
+    classes: Vec<DedupClass>,
 }
 
 /// Evaluates all candidate assignments for one arriving task, computing the
@@ -179,6 +239,16 @@ struct CachedPrefix {
 /// event (and across events). [`CandidateEvaluator::without_fused_kernel`]
 /// falls back to the legacy allocating pipeline — the differential
 /// reference, mirroring `uncached` for the cache.
+///
+/// Thirdly, [`CandidateEvaluator::evaluate_all`] deduplicates by candidate
+/// *equivalence class*: cores on the same node whose queue prefixes are
+/// bit-identical (confirmed, never assumed, via fingerprint then
+/// [`Pmf::bit_eq`]) are evaluated once on the lowest-index representative
+/// and the estimates replicated, while candidates are still emitted in
+/// core-major / P-state-minor order — so heuristics' argmin tie-breaks see
+/// an identical candidate stream (DESIGN.md §11).
+/// [`CandidateEvaluator::without_candidate_dedup`] evaluates every core
+/// independently — the differential reference for the class partition.
 #[derive(Debug)]
 pub struct CandidateEvaluator {
     policy: ReductionPolicy,
@@ -186,8 +256,16 @@ pub struct CandidateEvaluator {
     cache: Option<RefCell<Vec<Option<CachedPrefix>>>>,
     /// `None` disables the fused kernel (differential testing, baselines).
     scratch: Option<RefCell<PmfScratch>>,
+    /// `None` disables equivalence-class dedup (differential testing).
+    dedup: Option<RefCell<DedupScratch>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    /// Equivalence classes summed over all deduplicated mapping events.
+    dedup_classes: Cell<u64>,
+    /// Deduplicated mapping events (`evaluate_all` calls).
+    dedup_events: Cell<u64>,
+    /// (core, P-state) evaluations skipped via class replication.
+    dedup_skipped: Cell<u64>,
 }
 
 impl CandidateEvaluator {
@@ -198,8 +276,12 @@ impl CandidateEvaluator {
             policy,
             cache: Some(RefCell::new(Vec::new())),
             scratch: Some(RefCell::new(PmfScratch::new())),
+            dedup: Some(RefCell::new(DedupScratch::default())),
             hits: Cell::new(0),
             misses: Cell::new(0),
+            dedup_classes: Cell::new(0),
+            dedup_events: Cell::new(0),
+            dedup_skipped: Cell::new(0),
         }
     }
 
@@ -210,8 +292,12 @@ impl CandidateEvaluator {
             policy,
             cache: None,
             scratch: Some(RefCell::new(PmfScratch::new())),
+            dedup: Some(RefCell::new(DedupScratch::default())),
             hits: Cell::new(0),
             misses: Cell::new(0),
+            dedup_classes: Cell::new(0),
+            dedup_events: Cell::new(0),
+            dedup_skipped: Cell::new(0),
         }
     }
 
@@ -220,6 +306,15 @@ impl CandidateEvaluator {
     /// differential reference proving the fused path bit-identical.
     pub fn without_fused_kernel(mut self) -> Self {
         self.scratch = None;
+        self
+    }
+
+    /// Disables candidate equivalence-class deduplication:
+    /// [`CandidateEvaluator::evaluate_all`] evaluates every (core, P-state)
+    /// pair independently. Used as the differential reference proving the
+    /// class partition bit-identical.
+    pub fn without_candidate_dedup(mut self) -> Self {
+        self.dedup = None;
         self
     }
 
@@ -245,9 +340,44 @@ impl CandidateEvaluator {
             .map(|_| (self.hits.get(), self.misses.get()))
     }
 
-    /// Drops every cached prefix and zeroes the hit/miss counters. Must be
-    /// called between trials: a fresh trial resets every core to epoch 0,
-    /// which would otherwise collide with stale entries.
+    /// `(classes, events)` — candidate equivalence classes summed over all
+    /// deduplicated mapping events, and the number of such events — since
+    /// construction or the last [`CandidateEvaluator::reset_cache`];
+    /// `None` if dedup is disabled.
+    pub fn dedup_stats(&self) -> Option<(u64, u64)> {
+        self.dedup
+            .as_ref()
+            .map(|_| (self.dedup_classes.get(), self.dedup_events.get()))
+    }
+
+    /// (core, P-state) evaluations skipped because the core belonged to an
+    /// already-evaluated equivalence class; 0 when dedup is disabled.
+    pub fn dedup_skipped_evaluations(&self) -> u64 {
+        self.dedup_skipped.get()
+    }
+
+    /// The current bit-fingerprint of `core`'s queue prefix, or `None` for
+    /// an unloaded core (whose prefix pmf is itself absent — see
+    /// [`PrefixStamp`]). Served from the refreshed cache entry when caching
+    /// is enabled, computed on the spot otherwise.
+    pub fn prefix_fingerprint(&self, view: &SystemView<'_>, core: usize) -> Option<u64> {
+        match &self.cache {
+            Some(cache) => {
+                let mut entries = cache.borrow_mut();
+                self.refresh_entry(&mut entries, view, core);
+                entry_of(&entries, core).stamp.fingerprint()
+            }
+            None => {
+                let (prefix, _) = self.compute_prefix(view, core);
+                prefix.as_ref().map(Pmf::fingerprint)
+            }
+        }
+    }
+
+    /// Drops every cached prefix and zeroes the hit/miss, dedup, and
+    /// kernel counters. Must be called between trials: a fresh trial resets
+    /// every core to epoch 0, which would otherwise collide with stale
+    /// entries.
     pub fn reset_cache(&self) {
         if let Some(cache) = &self.cache {
             cache.borrow_mut().clear();
@@ -257,6 +387,9 @@ impl CandidateEvaluator {
         }
         self.hits.set(0);
         self.misses.set(0);
+        self.dedup_classes.set(0);
+        self.dedup_events.set(0);
+        self.dedup_skipped.set(0);
     }
 
     /// Computes a core's prefix through whichever pipeline is enabled.
@@ -269,9 +402,58 @@ impl CandidateEvaluator {
         }
     }
 
-    /// Hands `f` the current queue prefix of `core`, served from the cache
+    /// Brings `core`'s cache entry up to date: a lookup counts as a hit
     /// when the core's epoch and the view time both sit inside the cached
-    /// entry's exact-validity window, recomputed (and re-cached) otherwise.
+    /// entry's exact-validity window, and recomputes (re-stamping the
+    /// prefix fingerprint) otherwise. Postcondition: `entries[core]` is
+    /// `Some` and exact for the view.
+    fn refresh_entry(
+        &self,
+        entries: &mut Vec<Option<CachedPrefix>>,
+        view: &SystemView<'_>,
+        core: usize,
+    ) {
+        let epoch = view.core_epoch(core);
+        let now = view.time();
+        if entries.len() <= core {
+            entries.resize(view.cluster().total_cores().max(core + 1), None);
+        }
+        let fresh = matches!(
+            &entries[core],
+            Some(e) if e.epoch == epoch && e.computed_at <= now && now <= e.valid_until
+        );
+        if fresh {
+            self.hits.set(self.hits.get() + 1);
+            return;
+        }
+        self.misses.set(self.misses.get() + 1);
+        let (prefix, valid_until) = self.compute_prefix(view, core);
+        let fingerprint = prefix.as_ref().map(Pmf::fingerprint);
+        match &mut entries[core] {
+            Some(e) => {
+                e.epoch = epoch;
+                e.computed_at = now;
+                e.valid_until = valid_until;
+                e.prefix = prefix;
+                e.stamp.restamp(fingerprint);
+            }
+            slot => {
+                let mut stamp = PrefixStamp::new();
+                stamp.restamp(fingerprint);
+                *slot = Some(CachedPrefix {
+                    epoch,
+                    computed_at: now,
+                    valid_until,
+                    prefix,
+                    stamp,
+                });
+            }
+        }
+    }
+
+    /// Hands `f` the current queue prefix of `core`, served from the cache
+    /// when the entry is still exact for the view (see
+    /// [`CandidateEvaluator::refresh_entry`]), recomputed otherwise.
     fn with_prefix<R>(
         &self,
         view: &SystemView<'_>,
@@ -282,29 +464,9 @@ impl CandidateEvaluator {
             let (prefix, _) = self.compute_prefix(view, core);
             return f(prefix.as_ref());
         };
-        let epoch = view.core_epoch(core);
-        let now = view.time();
         let mut entries = cache.borrow_mut();
-        if entries.len() <= core {
-            entries.resize(view.cluster().total_cores().max(core + 1), None);
-        }
-        let fresh = matches!(
-            &entries[core],
-            Some(e) if e.epoch == epoch && e.computed_at <= now && now <= e.valid_until
-        );
-        if fresh {
-            self.hits.set(self.hits.get() + 1);
-        } else {
-            self.misses.set(self.misses.get() + 1);
-            let (prefix, valid_until) = self.compute_prefix(view, core);
-            entries[core] = Some(CachedPrefix {
-                epoch,
-                computed_at: now,
-                valid_until,
-                prefix,
-            });
-        }
-        f(entries[core].as_ref().unwrap().prefix.as_ref())
+        self.refresh_entry(&mut entries, view, core);
+        f(entry_of(&entries, core).prefix.as_ref())
     }
 
     /// Computes the completion-time pmf of assigning `task` to `core` in
@@ -406,21 +568,136 @@ impl CandidateEvaluator {
 
     /// Evaluates every (core, P-state) assignment for `task`, in
     /// deterministic core-major / P-state-minor order.
+    ///
+    /// With dedup enabled (the default), cores are partitioned into
+    /// equivalence classes keyed by `(node, prefix identity)`; each class
+    /// is evaluated once on its lowest-index representative and the
+    /// estimates replicated to the other members — bit-identical to
+    /// per-core evaluation, because the estimates depend on the core only
+    /// through its node and queue prefix (DESIGN.md §11). The emitted
+    /// candidate stream is unchanged in length, order, and content.
     pub fn evaluate_all(&self, view: &SystemView<'_>, task: &Task) -> Vec<EvaluatedCandidate> {
         let num_cores = view.cluster().total_cores();
-        let mut out = Vec::with_capacity(num_cores * PState::ALL.len());
-        for core in 0..num_cores {
-            self.with_prefix(view, core, |prefix| {
-                for pstate in PState::ALL {
-                    out.push(EvaluatedCandidate {
-                        core,
-                        pstate,
-                        est: self.evaluate_with_prefix(view, task, core, pstate, prefix),
-                    });
+        let mut out = Vec::with_capacity(num_cores * NUM_PSTATES);
+        let Some(dedup) = &self.dedup else {
+            for core in 0..num_cores {
+                self.with_prefix(view, core, |prefix| {
+                    for pstate in PState::ALL {
+                        out.push(EvaluatedCandidate {
+                            core,
+                            pstate,
+                            est: self.evaluate_with_prefix(view, task, core, pstate, prefix),
+                        });
+                    }
+                });
+            }
+            return out;
+        };
+        let mut scratch = dedup.borrow_mut();
+        scratch.classes.clear();
+        match &self.cache {
+            Some(cache) => {
+                // Refresh every entry first (same per-core lookups — and
+                // hit/miss counts — as the undeduplicated loop), then
+                // partition against the refreshed, now-immutable entries.
+                let mut entries = cache.borrow_mut();
+                for core in 0..num_cores {
+                    self.refresh_entry(&mut entries, view, core);
                 }
+                let entries = &*entries;
+                for core in 0..num_cores {
+                    let entry = entry_of(entries, core);
+                    self.emit_for_core(
+                        &mut scratch,
+                        &mut out,
+                        view,
+                        task,
+                        core,
+                        entry.stamp.fingerprint(),
+                        entry.prefix.as_ref(),
+                        |rep| entry_of(entries, rep).prefix.as_ref(),
+                    );
+                }
+            }
+            None => {
+                // Uncached differential baseline: compute each prefix once
+                // into a local table, then partition identically.
+                // Allocating here is fine — only the cached evaluator
+                // promises the one-allocation steady state.
+                let prefixes: Vec<Option<Pmf>> = (0..num_cores)
+                    .map(|core| self.compute_prefix(view, core).0)
+                    .collect();
+                for core in 0..num_cores {
+                    let prefix = prefixes[core].as_ref();
+                    self.emit_for_core(
+                        &mut scratch,
+                        &mut out,
+                        view,
+                        task,
+                        core,
+                        prefix.map(Pmf::fingerprint),
+                        prefix,
+                        |rep| prefixes[rep].as_ref(),
+                    );
+                }
+            }
+        }
+        self.dedup_classes
+            .set(self.dedup_classes.get() + scratch.classes.len() as u64);
+        self.dedup_events.set(self.dedup_events.get() + 1);
+        out
+    }
+
+    /// Resolves `core` against the equivalence classes discovered so far
+    /// this mapping event — replicating an existing class's estimates when
+    /// the `(node, fingerprint)` key matches *and* `rep_prefix(class.rep)`
+    /// is bit-identical to `prefix` (fingerprint equality alone is never
+    /// trusted), opening a new class with `core` as representative
+    /// otherwise — and appends the core's `NUM_PSTATES` candidates.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_for_core<'p>(
+        &self,
+        scratch: &mut DedupScratch,
+        out: &mut Vec<EvaluatedCandidate>,
+        view: &SystemView<'_>,
+        task: &Task,
+        core: usize,
+        fingerprint: Option<u64>,
+        prefix: Option<&'p Pmf>,
+        rep_prefix: impl Fn(usize) -> Option<&'p Pmf>,
+    ) {
+        let node = view.cluster().core(core).node;
+        let found = scratch.classes.iter().position(|c| {
+            c.node == node
+                && c.fingerprint == fingerprint
+                && prefix_bit_eq(prefix, rep_prefix(c.rep))
+        });
+        let class = match found {
+            Some(idx) => {
+                self.dedup_skipped
+                    .set(self.dedup_skipped.get() + NUM_PSTATES as u64);
+                idx
+            }
+            None => {
+                let ests = PState::ALL
+                    .map(|pstate| self.evaluate_with_prefix(view, task, core, pstate, prefix));
+                scratch.classes.push(DedupClass {
+                    node,
+                    fingerprint,
+                    rep: core,
+                    ests,
+                });
+                scratch.classes.len() - 1
+            }
+        };
+        let ests = scratch.classes[class].ests;
+        for (idx, pstate) in PState::ALL.into_iter().enumerate() {
+            out.push(EvaluatedCandidate {
+                core,
+                pstate,
+                est: ests[idx],
             });
         }
-        out
     }
 }
 
@@ -433,6 +710,7 @@ impl Default for CandidateEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidate::candidates_bit_eq;
     use ecds_sim::{CoreState, ExecutingTask, QueuedTask, Scenario};
     use ecds_workload::{TaskId, TaskTypeId};
 
@@ -575,7 +853,7 @@ mod tests {
             assert_eq!(c.pstate, PState::from_index(idx % 5));
         }
         let again = ev.evaluate_all(&view, &task);
-        assert_eq!(all, again);
+        assert!(candidates_bit_eq(&all, &again));
     }
 
     #[test]
@@ -590,7 +868,7 @@ mod tests {
         assert_eq!(ev.prefix_cache_stats(), Some((0, n)));
         let second = ev.evaluate_all(&view, &task);
         assert_eq!(ev.prefix_cache_stats(), Some((n, n)));
-        assert_eq!(first, second);
+        assert!(candidates_bit_eq(&first, &second));
     }
 
     #[test]
@@ -619,7 +897,7 @@ mod tests {
             PState::P0,
         );
         assert_eq!(ev.prefix_cache_stats(), Some((0, 2)), "mutation must miss");
-        assert_eq!(cached, reference);
+        assert!(cached.bit_eq(&reference));
     }
 
     #[test]
@@ -755,10 +1033,10 @@ mod tests {
                 CandidateEvaluator::uncached(ReductionPolicy::default()).without_fused_kernel(),
             ),
         ] {
-            assert_eq!(
-                fused.evaluate_all(&view, &task),
-                legacy.evaluate_all(&view, &task)
-            );
+            assert!(candidates_bit_eq(
+                &fused.evaluate_all(&view, &task),
+                &legacy.evaluate_all(&view, &task)
+            ));
         }
     }
 
@@ -784,7 +1062,7 @@ mod tests {
         let cores = busy_cores(&s);
         let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
         let task = mk_task(&s, 50.0);
-        let ev = CandidateEvaluator::default();
+        let ev = CandidateEvaluator::default().without_candidate_dedup();
         assert_eq!(ev.fused_kernel_calls(), 0);
         let _ = ev.evaluate_all(&view, &task);
         // Per busy core: one prefix convolution (the queued task) plus one
@@ -793,6 +1071,135 @@ mod tests {
         assert_eq!(ev.fused_kernel_calls(), n * (1 + PState::ALL.len() as u64));
         ev.reset_cache();
         assert_eq!(ev.fused_kernel_calls(), 0);
+    }
+
+    #[test]
+    fn dedup_cuts_candidate_kernel_calls_to_one_set_per_class() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
+        let task = mk_task(&s, 50.0);
+        let ev = CandidateEvaluator::default();
+        let _ = ev.evaluate_all(&view, &task);
+        let n = s.cluster().total_cores() as u64;
+        let (classes, events) = ev.dedup_stats().expect("dedup is on by default");
+        assert_eq!(events, 1);
+        assert!(classes <= n, "at most one class per core");
+        // One prefix convolution per core (every entry is refreshed), but
+        // candidate convolutions only for class representatives.
+        assert_eq!(
+            ev.fused_kernel_calls(),
+            n + classes * PState::ALL.len() as u64
+        );
+        assert_eq!(
+            ev.dedup_skipped_evaluations(),
+            (n - classes) * PState::ALL.len() as u64
+        );
+    }
+
+    #[test]
+    fn dedup_collapses_idle_cores_per_node() {
+        let s = scenario();
+        let cores = idle_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60);
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default();
+        let all = ev.evaluate_all(&view, &task);
+        assert_eq!(all.len(), s.cluster().total_cores() * NUM_PSTATES);
+        // Every idle core of a node is interchangeable: exactly one class
+        // per node.
+        let nodes = s.cluster().num_nodes() as u64;
+        assert_eq!(ev.dedup_stats(), Some((nodes, 1)));
+        let n = s.cluster().total_cores() as u64;
+        assert_eq!(
+            ev.dedup_skipped_evaluations(),
+            (n - nodes) * NUM_PSTATES as u64
+        );
+    }
+
+    #[test]
+    fn dedup_is_bit_identical_to_per_core_evaluation() {
+        let s = scenario();
+        for cores in [idle_cores(&s), busy_cores(&s)] {
+            let view = SystemView::new(s.cluster(), s.table(), &cores, 50.0, 1, 60);
+            let task = mk_task(&s, 50.0);
+            for (deduped, reference) in [
+                (
+                    CandidateEvaluator::default(),
+                    CandidateEvaluator::default().without_candidate_dedup(),
+                ),
+                (
+                    CandidateEvaluator::uncached(ReductionPolicy::default()),
+                    CandidateEvaluator::uncached(ReductionPolicy::default())
+                        .without_candidate_dedup(),
+                ),
+            ] {
+                assert!(candidates_bit_eq(
+                    &deduped.evaluate_all(&view, &task),
+                    &reference.evaluate_all(&view, &task)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn without_dedup_reports_no_stats() {
+        let s = scenario();
+        let cores = idle_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60);
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default().without_candidate_dedup();
+        let _ = ev.evaluate_all(&view, &task);
+        assert_eq!(ev.dedup_stats(), None);
+        assert_eq!(ev.dedup_skipped_evaluations(), 0);
+    }
+
+    #[test]
+    fn reset_cache_zeroes_dedup_counters() {
+        let s = scenario();
+        let cores = idle_cores(&s);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60);
+        let task = mk_task(&s, 0.0);
+        let ev = CandidateEvaluator::default();
+        let _ = ev.evaluate_all(&view, &task);
+        ev.reset_cache();
+        assert_eq!(ev.dedup_stats(), Some((0, 0)));
+        assert_eq!(ev.dedup_skipped_evaluations(), 0);
+    }
+
+    #[test]
+    fn prefix_fingerprint_matches_loads_not_cores() {
+        let s = scenario();
+        let cluster = s.cluster();
+        // Two cores on the same node, loaded identically, plus a third
+        // loaded differently.
+        let twin = (1..cluster.total_cores())
+            .find(|&c| cluster.core(c).node == cluster.core(0).node)
+            .expect("test cluster has multi-core nodes");
+        let mut cores = idle_cores(&s);
+        for &c in &[0, twin] {
+            cores[c].start(ExecutingTask {
+                task: TaskId(c),
+                type_id: TaskTypeId(1),
+                pstate: PState::P1,
+                start: 0.0,
+                deadline: 5000.0,
+            });
+        }
+        let view = SystemView::new(cluster, s.table(), &cores, 10.0, 1, 60);
+        for ev in [
+            CandidateEvaluator::default(),
+            CandidateEvaluator::uncached(ReductionPolicy::default()),
+        ] {
+            let f0 = ev.prefix_fingerprint(&view, 0);
+            assert!(f0.is_some(), "busy core has a prefix to fingerprint");
+            assert_eq!(f0, ev.prefix_fingerprint(&view, twin));
+            // An unloaded core has no prefix, hence no fingerprint.
+            let idle = (0..cluster.total_cores())
+                .find(|&c| c != 0 && c != twin)
+                .expect("more than two cores");
+            assert_eq!(ev.prefix_fingerprint(&view, idle), None);
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod heuristics;
 pub mod robustness;
 pub mod scheduler;
 
-pub use candidate::EvaluatedCandidate;
+pub use candidate::{candidates_bit_eq, EvaluatedCandidate};
 pub use estimate::{pending_completion_pmf, AssignmentEstimate, CandidateEvaluator};
 pub use factory::{build_scheduler, FilterVariant, HeuristicKind};
 pub use filters::energy::{EnergyFilter, ZetaMulPolicy};

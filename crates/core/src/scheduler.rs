@@ -103,6 +103,16 @@ impl Scheduler {
         self
     }
 
+    /// Disables the evaluator's candidate equivalence-class deduplication,
+    /// evaluating every (core, P-state) pair independently. The reference
+    /// configuration the deduplicated default is differentially tested
+    /// against (apply after [`Scheduler::without_prefix_cache`], which
+    /// rebuilds the evaluator).
+    pub fn without_candidate_dedup(mut self) -> Self {
+        self.evaluator = self.evaluator.without_candidate_dedup();
+        self
+    }
+
     /// Enables recording of `(task, ρ)` pairs — the robustness value of
     /// every chosen assignment — for the model-validation harness (the
     /// `validate` binary compares these predictions against realized
@@ -154,6 +164,8 @@ impl Mapper for Scheduler {
         MapperStats {
             prefix_cache: self.evaluator.prefix_cache_stats(),
             fused_kernel_calls: self.evaluator.fused_kernel_calls(),
+            candidate_classes: self.evaluator.dedup_stats(),
+            dedup_skipped_evaluations: self.evaluator.dedup_skipped_evaluations(),
         }
     }
 

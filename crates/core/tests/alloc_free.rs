@@ -11,7 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ecds_cluster::PState;
-use ecds_core::CandidateEvaluator;
+use ecds_core::{candidates_bit_eq, CandidateEvaluator};
 use ecds_sim::{CoreState, ExecutingTask, QueuedTask, Scenario, SystemView};
 use ecds_workload::{Task, TaskId, TaskTypeId};
 
@@ -76,31 +76,36 @@ fn warm_evaluate_all_allocates_only_the_result_vector() {
     };
     let evaluator = CandidateEvaluator::default();
 
-    // Warm-up: first call populates the prefix cache and grows every
-    // scratch buffer to this workload's high-water mark; second call
-    // verifies the warm path works before we start counting.
+    // Warm-up: first call populates the prefix cache, grows every scratch
+    // buffer to this workload's high-water mark, and sizes the dedup class
+    // storage; second call verifies the warm path works before we start
+    // counting.
     let reference = evaluator.evaluate_all(&view, &task);
     let warm = evaluator.evaluate_all(&view, &task);
-    assert_eq!(reference, warm);
+    assert!(candidates_bit_eq(&reference, &warm));
 
     let before = allocations();
     let measured = evaluator.evaluate_all(&view, &task);
     let during = allocations() - before;
-    assert_eq!(measured, reference);
+    assert!(candidates_bit_eq(&measured, &reference));
     assert_eq!(
         during, 1,
         "steady-state evaluate_all must allocate exactly once (the result \
-         vector); every candidate convolution must run in the scratch"
+         vector); every candidate convolution must run in the scratch and \
+         the class partition in its retained storage"
     );
 
-    // The same sweep through the legacy pipeline allocates per candidate —
-    // the contrast proving the counter actually observes the kernel.
-    let legacy = CandidateEvaluator::default().without_fused_kernel();
+    // The same sweep through the legacy pipeline — per-core, no fused
+    // kernel — allocates per candidate; the contrast proves the counter
+    // actually observes the kernel.
+    let legacy = CandidateEvaluator::default()
+        .without_fused_kernel()
+        .without_candidate_dedup();
     let _ = legacy.evaluate_all(&view, &task);
     let before = allocations();
     let legacy_measured = legacy.evaluate_all(&view, &task);
     let legacy_during = allocations() - before;
-    assert_eq!(legacy_measured, reference);
+    assert!(candidates_bit_eq(&legacy_measured, &reference));
     let candidates = reference.len() as u64;
     assert!(
         legacy_during > candidates,

@@ -65,7 +65,7 @@ pub mod prelude {
         PowerProfile,
     };
     pub use ecds_core::{
-        build_scheduler, core_robustness, system_robustness, AssignmentEstimate,
+        build_scheduler, candidates_bit_eq, core_robustness, system_robustness, AssignmentEstimate,
         CandidateEvaluator, DeterministicMct, EnergyFilter, EvaluatedCandidate, Filter, FilterCtx,
         FilterVariant, Heuristic, HeuristicKind, KPercentBest, LightestLoad, MinimumExecutionTime,
         MinimumExpectedCompletionTime, OpportunisticLoadBalancing, RandomChoice, RobustnessFilter,

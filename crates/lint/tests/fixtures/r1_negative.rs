@@ -33,6 +33,21 @@ impl Ledger {
     }
 }
 
+/// A cached-fingerprint stamp like the evaluator's `PrefixStamp`, bumping
+/// on every restamp: fine.
+// lint: epoch-guarded
+pub struct Stamp {
+    fingerprint: Option<u64>,
+    epoch: u64,
+}
+
+impl Stamp {
+    pub fn restamp(&mut self, fingerprint: Option<u64>) {
+        self.fingerprint = fingerprint;
+        self.epoch += 1;
+    }
+}
+
 /// Unmarked types are out of scope entirely.
 pub struct Scratch {
     data: Vec<u64>,

@@ -19,6 +19,28 @@ impl Ledger {
     }
 }
 
+/// A cached-fingerprint stamp like the evaluator's `PrefixStamp`: the
+/// whole point of the epoch is to version the recorded fingerprint, so a
+/// `restamp` that rewrites the fingerprint without bumping is the exact
+/// bug R1 exists to catch.
+// lint: epoch-guarded
+pub struct Stamp {
+    fingerprint: Option<u64>,
+    epoch: u64,
+}
+
+impl Stamp {
+    /// VIOLATION: rewrites the guarded state but forgets the bump.
+    pub fn restamp(&mut self, fingerprint: Option<u64>) {
+        self.fingerprint = fingerprint;
+    }
+
+    /// Read-only methods need no bump.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+}
+
 pub struct CoreState {
     epoch: u64,
     queued: Vec<u64>,

@@ -34,15 +34,17 @@ fn lines_for(diags: &[Diagnostic], rule: RuleId) -> Vec<usize> {
 fn r1_flags_missing_epoch_bumps() {
     let diags = check_fixture("r1_positive.rs", "crates/sim/src/fixture.rs");
     let r1 = lines_for(&diags, RuleId::EpochDiscipline);
-    // `Ledger::clear` (marker-guarded) and `CoreState::enqueue` (guarded by
-    // name); `Ledger::push` bumps and must not appear.
-    assert_eq!(r1.len(), 2, "diagnostics: {diags:#?}");
+    // `Ledger::clear` (marker-guarded), `Stamp::restamp` (marker-guarded
+    // fingerprint rewrite), and `CoreState::enqueue` (guarded by name);
+    // `Ledger::push` bumps and must not appear.
+    assert_eq!(r1.len(), 3, "diagnostics: {diags:#?}");
     let snippets: Vec<&str> = diags
         .iter()
         .filter(|d| d.rule == RuleId::EpochDiscipline)
         .map(|d| d.snippet.as_str())
         .collect();
     assert!(snippets.iter().any(|s| s.contains("fn clear")));
+    assert!(snippets.iter().any(|s| s.contains("fn restamp")));
     assert!(snippets.iter().any(|s| s.contains("fn enqueue")));
 }
 

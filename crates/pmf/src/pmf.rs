@@ -282,6 +282,28 @@ impl Pmf {
     pub fn total_mass(&self) -> f64 {
         self.impulses.iter().map(|i| i.prob).sum()
     }
+
+    /// Deterministic 64-bit fingerprint of the pmf's exact bit pattern: an
+    /// FNV-1a hash over the `(value.to_bits(), prob.to_bits())` pairs in
+    /// support order. Stable across runs and platforms (no per-process
+    /// entropy), so it can key caches and equivalence classes.
+    ///
+    /// Equal fingerprints are a fast *necessary* condition for bit
+    /// identity, not a proof — confirm with [`Pmf::bit_eq`] where soundness
+    /// matters (hash collisions, however unlikely, must not change
+    /// results).
+    pub fn fingerprint(&self) -> u64 {
+        crate::impulse::fingerprint_impulses(&self.impulses)
+    }
+
+    /// `true` iff `self` and `other` have bit-identical impulse sequences
+    /// (`f64::to_bits` on every value and probability). Stricter than
+    /// `==` on floats — NaN-robust and `-0.0`-aware — and exactly the
+    /// relation under which two pmfs are interchangeable in the
+    /// non-associative convolution algebra.
+    pub fn bit_eq(&self, other: &Pmf) -> bool {
+        crate::impulse::impulses_bit_identical(&self.impulses, &other.impulses)
+    }
 }
 
 /// Sorts impulses by value and merges (sums the probability of) support
@@ -497,6 +519,20 @@ mod tests {
         let p = pmf_half_half();
         let shifted = p.convolve(&Pmf::singleton(7.0), crate::ReductionPolicy::unlimited());
         assert_eq!(shifted, p.shift(7.0));
+    }
+
+    #[test]
+    fn fingerprint_matches_iff_bits_match() {
+        let p = pmf_half_half();
+        let q = Pmf::from_pairs(&[(10.0, 0.5), (20.0, 0.5)]).unwrap();
+        assert_eq!(p.fingerprint(), q.fingerprint());
+        assert!(p.bit_eq(&q));
+        let shifted = p.shift(1.0);
+        assert_ne!(p.fingerprint(), shifted.fingerprint());
+        assert!(!p.bit_eq(&shifted));
+        // Same support, different masses: still distinguished.
+        let r = Pmf::from_pairs(&[(10.0, 0.25), (20.0, 0.75)]).unwrap();
+        assert_ne!(p.fingerprint(), r.fingerprint());
     }
 
     #[test]

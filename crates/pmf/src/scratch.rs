@@ -118,6 +118,13 @@ impl<'a> PmfView<'a> {
     pub fn to_pmf(&self) -> Pmf {
         Pmf::from_invariant_impulses(self.impulses.to_vec())
     }
+
+    /// Deterministic 64-bit fingerprint of the viewed impulses' exact bit
+    /// pattern — same hash as [`Pmf::fingerprint`], so a view and its
+    /// materialized pmf always agree.
+    pub fn fingerprint(&self) -> u64 {
+        crate::impulse::fingerprint_impulses(self.impulses)
+    }
 }
 
 /// Reusable workspace for the fused convolve→merge→reduce kernel and for a

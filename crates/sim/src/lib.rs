@@ -62,6 +62,7 @@ pub mod event;
 pub mod report;
 pub mod result;
 pub mod scenario;
+pub mod stamp;
 pub mod state;
 pub mod telemetry;
 pub mod view;
@@ -74,6 +75,7 @@ pub use event::{EventKind, EventQueue};
 pub use report::EnergyBreakdown;
 pub use result::{TaskOutcome, TrialResult};
 pub use scenario::Scenario;
+pub use stamp::PrefixStamp;
 pub use state::{CoreState, ExecutingTask, QueuedTask};
 pub use telemetry::{MapperStats, Telemetry};
 pub use view::{Assignment, Mapper, SystemView};

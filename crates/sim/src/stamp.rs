@@ -1,0 +1,90 @@
+//! Observer-side identity stamps for per-core derived state.
+//!
+//! [`CoreState`](crate::CoreState) carries a mutation epoch so observers
+//! can detect staleness without comparing queue contents. [`PrefixStamp`]
+//! is the dual record kept *by* an observer (the mapper's candidate
+//! evaluator): alongside each cached queue-prefix pmf it stores the
+//! prefix's bit-level fingerprint, re-stamped on every cache fill, so
+//! equal-prefix cores can be recognized in O(1) before confirming bit
+//! identity. The stamp has its own epoch — bumped on every restamp — so
+//! two reads of the same stamp with equal epochs are guaranteed to have
+//! observed the same fingerprint.
+
+/// A fingerprint record for one core's cached queue prefix.
+///
+/// `fingerprint` is `None` while nothing has been stamped *or* when the
+/// stamped prefix was `None` (an idle core with an empty queue has no
+/// prefix pmf, and its candidate class is keyed on the node alone);
+/// `Some(hash)` carries the FNV-1a bit-fingerprint of the prefix pmf (see
+/// `ecds_pmf::Pmf::fingerprint`). Like every epoch-guarded type, a public
+/// mutator that forgets the `self.epoch += 1` bump is an ecds-lint R1
+/// violation.
+// lint: epoch-guarded
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStamp {
+    fingerprint: Option<u64>,
+    epoch: u64,
+}
+
+impl PrefixStamp {
+    /// A blank stamp: nothing recorded yet, epoch zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stamped prefix fingerprint — `None` for an idle, empty core
+    /// (whose queue prefix is itself `None`).
+    #[inline]
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// The stamp's mutation epoch: strictly increases on every
+    /// [`restamp`](PrefixStamp::restamp), so equal epochs imply equal
+    /// fingerprints were observed.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records a freshly computed prefix fingerprint (`None` when the core
+    /// has no prefix pmf), bumping the stamp's epoch.
+    pub fn restamp(&mut self, fingerprint: Option<u64>) {
+        self.fingerprint = fingerprint;
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_stamp_has_no_fingerprint_and_epoch_zero() {
+        let s = PrefixStamp::new();
+        assert_eq!(s.fingerprint(), None);
+        assert_eq!(s.epoch(), 0);
+    }
+
+    #[test]
+    fn restamp_records_and_bumps() {
+        let mut s = PrefixStamp::new();
+        s.restamp(Some(0xdead_beef));
+        assert_eq!(s.fingerprint(), Some(0xdead_beef));
+        assert_eq!(s.epoch(), 1);
+        s.restamp(None);
+        assert_eq!(s.fingerprint(), None);
+        assert_eq!(s.epoch(), 2, "restamping the same value still bumps");
+    }
+
+    #[test]
+    fn equal_epochs_imply_equal_fingerprints() {
+        let mut a = PrefixStamp::new();
+        let mut b = PrefixStamp::new();
+        a.restamp(Some(7));
+        b.restamp(Some(7));
+        assert_eq!(a, b);
+        b.restamp(Some(7));
+        assert_ne!(a, b, "the epoch distinguishes re-stamps");
+    }
+}

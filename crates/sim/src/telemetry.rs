@@ -28,6 +28,14 @@ pub struct MapperStats {
     /// allocation-free-path coverage counter (DESIGN.md §7.1). Zero for
     /// mappers without a fused kernel.
     pub fused_kernel_calls: u64,
+    /// `Some((classes, events))` — total candidate equivalence classes
+    /// summed over all mapping events, and the number of mapping events —
+    /// for mappers that deduplicate candidate evaluation (DESIGN.md §11),
+    /// or `None` for mappers that evaluate every core independently.
+    pub candidate_classes: Option<(u64, u64)>,
+    /// `(core, P-state)` evaluations skipped because the core belonged to
+    /// an already-evaluated equivalence class. Zero without dedup.
+    pub dedup_skipped_evaluations: u64,
 }
 
 impl MapperStats {
@@ -51,6 +59,13 @@ impl MapperStats {
     pub fn prefix_cache_hit_rate(&self) -> Option<f64> {
         let total = self.prefix_cache_lookups();
         (total > 0).then(|| self.prefix_cache_hits() as f64 / total as f64)
+    }
+
+    /// Mean candidate equivalence classes per mapping event, or `None`
+    /// when the mapper does not deduplicate or recorded no events.
+    pub fn classes_per_event(&self) -> Option<f64> {
+        self.candidate_classes
+            .and_then(|(classes, events)| (events > 0).then(|| classes as f64 / events as f64))
     }
 }
 
@@ -176,6 +191,24 @@ mod tests {
         assert_eq!(stats.prefix_cache_misses(), 0);
         assert_eq!(stats.prefix_cache_hit_rate(), None);
         assert_eq!(stats.fused_kernel_calls, 0);
+        assert_eq!(stats.candidate_classes, None);
+        assert_eq!(stats.dedup_skipped_evaluations, 0);
+        assert_eq!(stats.classes_per_event(), None);
+    }
+
+    #[test]
+    fn classes_per_event_divides_classes_by_events() {
+        let stats = MapperStats {
+            candidate_classes: Some((30, 10)),
+            ..MapperStats::default()
+        };
+        assert_eq!(stats.classes_per_event(), Some(3.0));
+        // Dedup enabled but no events yet: still no rate.
+        let idle = MapperStats {
+            candidate_classes: Some((0, 0)),
+            ..MapperStats::default()
+        };
+        assert_eq!(idle.classes_per_event(), None);
     }
 
     #[test]

@@ -124,6 +124,15 @@ impl<'a> SystemView<'a> {
         self.cores[core].epoch()
     }
 
+    /// `true` when the core with flat index `core` is idle with an empty
+    /// queue — it has no queue prefix pmf at all, so its candidate
+    /// equivalence class is keyed on the owning node alone (DESIGN.md §11).
+    #[inline]
+    pub fn core_is_unloaded(&self, core: usize) -> bool {
+        let state = &self.cores[core];
+        state.is_idle() && state.depth() == 0
+    }
+
     /// Tasks that have arrived so far, *including* the one being mapped.
     #[inline]
     pub fn arrived(&self) -> usize {
@@ -241,5 +250,20 @@ mod tests {
         assert_eq!(view.window(), 10);
         assert_eq!(view.core_states().len(), cluster.total_cores());
         assert!(view.core_state(0).is_idle());
+    }
+
+    #[test]
+    fn unloaded_means_idle_with_empty_queue() {
+        let (cluster, table) = fixtures();
+        let mut cores = vec![CoreState::new(); cluster.total_cores()];
+        cores[1].enqueue(QueuedTask {
+            task: TaskId(0),
+            type_id: TaskTypeId(0),
+            pstate: PState::P0,
+            deadline: 50.0,
+        });
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10);
+        assert!(view.core_is_unloaded(0));
+        assert!(!view.core_is_unloaded(1), "a queued task loads the core");
     }
 }

@@ -67,6 +67,13 @@ fn main() {
                 "", telemetry.mapper.fused_kernel_calls
             );
         }
+        if let Some(per_event) = telemetry.mapper.classes_per_event() {
+            println!(
+                "{:<16} candidate dedup: {:.1} classes per mapping event, \
+                 {} duplicate evaluations skipped",
+                "", per_event, telemetry.mapper.dedup_skipped_evaluations
+            );
+        }
     }
 
     println!(

@@ -172,15 +172,19 @@ fn evaluator_level_estimates_match_through_mutation_and_time() {
     for step in 0..4 {
         let now = 10.0 + step as f64 * 15.0;
         let view = SystemView::new(s.cluster(), s.table(), &cores, now, 3, 60);
-        assert_eq!(
-            cached.evaluate_all(&view, &task),
-            uncached.evaluate_all(&view, &task),
+        assert!(
+            candidates_bit_eq(
+                &cached.evaluate_all(&view, &task),
+                &uncached.evaluate_all(&view, &task)
+            ),
             "diverged at t={now}"
         );
         // Second call on the same view: all-hit fast path, same answer.
-        assert_eq!(
-            cached.evaluate_all(&view, &task),
-            uncached.evaluate_all(&view, &task),
+        assert!(
+            candidates_bit_eq(
+                &cached.evaluate_all(&view, &task),
+                &uncached.evaluate_all(&view, &task)
+            ),
             "warm pass diverged at t={now}"
         );
     }
@@ -194,9 +198,11 @@ fn evaluator_level_estimates_match_through_mutation_and_time() {
         deadline: 9000.0,
     });
     let view = SystemView::new(s.cluster(), s.table(), &cores, 70.0, 4, 60);
-    assert_eq!(
-        cached.evaluate_all(&view, &task),
-        uncached.evaluate_all(&view, &task),
+    assert!(
+        candidates_bit_eq(
+            &cached.evaluate_all(&view, &task),
+            &uncached.evaluate_all(&view, &task)
+        ),
         "diverged after mutation"
     );
 }

@@ -4,6 +4,7 @@
 use std::cell::{Cell, RefCell};
 
 use ecds_cluster::{PState, NUM_PSTATES};
+use ecds_persist::{DecodeError, Decoder, Encoder, Persist};
 use ecds_pmf::{Pmf, PmfScratch, Prob, ReductionPolicy, Time};
 use ecds_sim::{PrefixStamp, SystemView};
 use ecds_workload::Task;
@@ -390,6 +391,114 @@ impl CandidateEvaluator {
         self.dedup_classes.set(0);
         self.dedup_events.set(0);
         self.dedup_skipped.set(0);
+    }
+
+    /// Serializes the evaluator's mutable state — the counters, the fused
+    /// kernel's call count, and every prefix-cache entry (epoch, validity
+    /// window, pmf, stamp) — into a serving checkpoint. The evaluator's
+    /// *configuration* (which of cache / fused kernel / dedup are enabled)
+    /// is encoded as presence flags so a restore into a differently
+    /// configured evaluator fails loudly instead of silently diverging.
+    pub fn save_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.hits.get());
+        enc.put_u64(self.misses.get());
+        enc.put_u64(self.dedup_classes.get());
+        enc.put_u64(self.dedup_events.get());
+        enc.put_u64(self.dedup_skipped.get());
+        match &self.scratch {
+            Some(scratch) => {
+                enc.put_bool(true);
+                enc.put_u64(scratch.borrow().kernel_calls());
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.cache {
+            Some(cache) => {
+                enc.put_bool(true);
+                let entries = cache.borrow();
+                enc.put_u64(entries.len() as u64);
+                for entry in entries.iter() {
+                    match entry {
+                        Some(e) => {
+                            enc.put_bool(true);
+                            enc.put_u64(e.epoch);
+                            enc.put_f64(e.computed_at);
+                            enc.put_f64(e.valid_until);
+                            e.prefix.encode(enc);
+                            e.stamp.encode(enc);
+                        }
+                        None => enc.put_bool(false),
+                    }
+                }
+            }
+            None => enc.put_bool(false),
+        }
+        // DedupScratch is per-mapping-event (cleared at every
+        // `evaluate_all`), so only the configuration flag persists.
+        enc.put_bool(self.dedup.is_some());
+    }
+
+    /// Restores state written by [`CandidateEvaluator::save_state`].
+    ///
+    /// Fails with [`DecodeError::Corrupt`] when the checkpoint was taken
+    /// from an evaluator with a different cache / fused-kernel / dedup
+    /// configuration.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.hits.set(dec.u64()?);
+        self.misses.set(dec.u64()?);
+        self.dedup_classes.set(dec.u64()?);
+        self.dedup_events.set(dec.u64()?);
+        self.dedup_skipped.set(dec.u64()?);
+        if dec.bool()? != self.scratch.is_some() {
+            return Err(DecodeError::Corrupt(
+                "checkpoint fused-kernel configuration mismatch",
+            ));
+        }
+        if let Some(scratch) = &self.scratch {
+            scratch.borrow_mut().set_kernel_calls(dec.u64()?);
+        }
+        if dec.bool()? != self.cache.is_some() {
+            return Err(DecodeError::Corrupt(
+                "checkpoint prefix-cache configuration mismatch",
+            ));
+        }
+        if let Some(cache) = &self.cache {
+            let n = dec.u64()?;
+            if n > dec.remaining() {
+                return Err(DecodeError::Truncated);
+            }
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                if dec.bool()? {
+                    let epoch = dec.u64()?;
+                    let computed_at = dec.f64()?;
+                    let valid_until = dec.f64()?;
+                    if computed_at.is_nan() || valid_until.is_nan() {
+                        return Err(DecodeError::Corrupt(
+                            "cache validity window must not be NaN",
+                        ));
+                    }
+                    let prefix = Option::<Pmf>::decode(dec)?;
+                    let stamp = PrefixStamp::decode(dec)?;
+                    entries.push(Some(CachedPrefix {
+                        epoch,
+                        computed_at,
+                        valid_until,
+                        prefix,
+                        stamp,
+                    }));
+                } else {
+                    entries.push(None);
+                }
+            }
+            *cache.borrow_mut() = entries;
+        }
+        if dec.bool()? != self.dedup.is_some() {
+            return Err(DecodeError::Corrupt(
+                "checkpoint candidate-dedup configuration mismatch",
+            ));
+        }
+        Ok(())
     }
 
     /// Computes a core's prefix through whichever pipeline is enabled.

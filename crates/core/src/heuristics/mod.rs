@@ -16,6 +16,7 @@ pub mod olb;
 pub mod random;
 pub mod sq;
 
+use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 
@@ -37,6 +38,15 @@ pub trait Heuristic: Send {
 
     /// Resets per-trial internal state. Default: no-op.
     fn reset(&mut self) {}
+
+    /// Serializes mutable per-trial state into a serving checkpoint.
+    /// Default: nothing — most heuristics are stateless.
+    fn save_state(&self, _enc: &mut Encoder) {}
+
+    /// Restores state written by [`Heuristic::save_state`]. Default: no-op.
+    fn restore_state(&mut self, _dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        Ok(())
+    }
 }
 
 /// Selects the index minimizing `key`, breaking ties by list order

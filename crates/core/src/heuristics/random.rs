@@ -1,5 +1,6 @@
 //! The Random baseline heuristic (paper Sec. V-E).
 
+use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 use rand::rngs::StdRng;
@@ -52,6 +53,21 @@ impl Heuristic for RandomChoice {
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = dec.u64()?;
+        }
+        self.rng = StdRng::from_state(state);
+        Ok(())
     }
 }
 

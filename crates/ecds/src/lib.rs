@@ -53,6 +53,7 @@
 pub use ecds_cluster as cluster;
 pub use ecds_core as core;
 pub use ecds_ext as ext;
+pub use ecds_persist as persist;
 pub use ecds_pmf as pmf;
 pub use ecds_sim as sim;
 pub use ecds_stats as stats;
@@ -73,13 +74,14 @@ pub mod prelude {
     };
     pub use ecds_pmf::{Impulse, Pmf, ReductionPolicy, SeedDerive, Stream};
     pub use ecds_sim::{
-        Assignment, Discipline, EnergyBreakdown, EngineCtx, ImmediateDiscipline, Mapper,
-        MapperStats, Scenario, SimConfig, Simulation, SystemView, TaskOutcome, Telemetry,
-        TrialResult,
+        Assignment, Discipline, EnergyBreakdown, EngineCtx, Horizon, ImmediateDiscipline, Mapper,
+        MapperStats, Retention, RetiredTally, Scenario, ServeConfig, ServeSession, ServeSummary,
+        SimConfig, Simulation, SystemView, TaskOutcome, Telemetry, TrialResult,
     };
     pub use ecds_stats::{render_boxplots, BoxStats, MarkdownTable};
     pub use ecds_workload::{
-        BurstPattern, ExecTable, Task, TaskId, TaskTypeId, WorkloadConfig, WorkloadTrace,
+        ArrivalSource, BurstPattern, BurstyArrivalSource, ExecTable, Task, TaskId, TaskTypeId,
+        TraceArrivalSource, WorkloadConfig, WorkloadTrace,
     };
 }
 

@@ -21,6 +21,7 @@
 //! engine.
 
 use ecds_cluster::{Cluster, PState};
+use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_pmf::{truncate::truncate_below_or_floor, Pmf, Time};
 use ecds_sim::{Discipline, EngineCtx, Scenario, Simulation, TrialResult};
 use ecds_workload::{ExecTable, Task, TaskId, WorkloadTrace};
@@ -286,7 +287,7 @@ impl Discipline for BatchDiscipline<'_> {
             used_tasks[d.task_index] = true;
             used_cores[d.core] = true;
             let task = self.pending[d.task_index];
-            let task_data = ctx.task(task);
+            let task_data = *ctx.task(task);
             let node_idx = ctx.cluster().core(d.core).node;
             let node = ctx.cluster().node(node_idx);
             ctx.record_assignment(task, d.core, d.pstate);
@@ -302,6 +303,33 @@ impl Discipline for BatchDiscipline<'_> {
         for idx in started {
             self.pending.swap_remove(idx);
         }
+    }
+
+    fn holds_unassigned_tasks(&self) -> bool {
+        // Arrived-but-unassigned tasks sit in the pending bag and may still
+        // be dispatched; the serving loop must not retire them.
+        true
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.pending.len() as u64);
+        for id in &self.pending {
+            enc.put_u64(id.0 as u64);
+        }
+        enc.put_f64(self.remaining);
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        let n = dec.u64()?;
+        if n > dec.remaining() / 8 {
+            return Err(DecodeError::Truncated);
+        }
+        self.pending.clear();
+        for _ in 0..n {
+            self.pending.push(TaskId(dec.u64()? as usize));
+        }
+        self.remaining = dec.f64()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,14 @@
 //! construction; all simulation randomness must flow from the vendored
 //! xoshiro `StdRng` seeded with explicit trial seeds.
 //!
+//! The checkpoint codec crate (`crates/persist`) is held to the same bans
+//! plus a stricter layout table: a checkpoint written on one platform must
+//! restore bit-identically on any other, so pointer-width integers
+//! (`usize`/`isize`) and native-endian conversions
+//! (`to_ne_bytes`/`from_ne_bytes`) may not appear anywhere in its wire
+//! format code — every width is an explicit `u8`/`u16`/`u32`/`u64`,
+//! little-endian.
+//!
 //! `#[cfg(test)]` regions and `tests/` / `benches/` files are exempt:
 //! test-only iteration cannot reach `results/`.
 
@@ -67,9 +75,37 @@ const BANNED: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Additional bans for the checkpoint codec crate: the wire format must be
+/// platform-independent (DESIGN.md §12), so pointer-width types and
+/// native-endian byte orders may not appear in `crates/persist` library
+/// code at all.
+const PERSIST_BANNED: &[(&str, &str, &str)] = &[
+    (
+        "usize",
+        "pointer-width integer in the checkpoint wire format",
+        "use an explicit u8/u16/u32/u64 wire width; cast with `as _` at std boundaries",
+    ),
+    (
+        "isize",
+        "pointer-width integer in the checkpoint wire format",
+        "use an explicit fixed-width integer for the wire representation",
+    ),
+    (
+        "to_ne_bytes",
+        "native-endian encoding is platform-dependent",
+        "use to_le_bytes: the checkpoint format is little-endian everywhere",
+    ),
+    (
+        "from_ne_bytes",
+        "native-endian decoding is platform-dependent",
+        "use from_le_bytes: the checkpoint format is little-endian everywhere",
+    ),
+];
+
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !RESULT_AFFECTING_CRATES.contains(&file.crate_name.as_str()) {
+    let persist = file.crate_name == "persist";
+    if !persist && !RESULT_AFFECTING_CRATES.contains(&file.crate_name.as_str()) {
         return;
     }
     if !matches!(file.role, Role::Lib | Role::Bin) {
@@ -80,7 +116,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             return;
         }
         let scan = |tokens: &[TokenTree], out: &mut Vec<Diagnostic>| {
-            scan_banned(file, tokens, out);
+            scan_banned(file, tokens, persist, out);
         };
         match item {
             Item::Fn(f) => {
@@ -98,12 +134,15 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     });
 }
 
-fn scan_banned(file: &SourceFile, tokens: &[TokenTree], out: &mut Vec<Diagnostic>) {
+fn scan_banned(file: &SourceFile, tokens: &[TokenTree], persist: bool, out: &mut Vec<Diagnostic>) {
     for_each_sibling_run(tokens, &mut |run| {
         for t in run {
             let TokenTree::Ident(ident) = t else { continue };
-            let Some((name, problem, fix)) =
-                BANNED.iter().find(|(name, _, _)| ident.as_str() == *name)
+            let persist_extra = persist.then(|| PERSIST_BANNED.iter()).into_iter().flatten();
+            let Some((name, problem, fix)) = BANNED
+                .iter()
+                .chain(persist_extra)
+                .find(|(name, _, _)| ident.as_str() == *name)
             else {
                 continue;
             };
@@ -204,6 +243,51 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn persist_wire_format_bans_pointer_widths_and_native_endian() {
+        let out = diags(
+            "crates/persist/src/x.rs",
+            "pub fn bad(n: usize) -> Vec<u8> {\n\
+                 let w = n.to_ne_bytes();\n\
+                 let _ = usize::from_ne_bytes(w);\n\
+                 w.to_vec()\n\
+             }",
+        );
+        let hits = |needle: &str| out.iter().filter(|d| d.message.contains(needle)).count();
+        assert_eq!(hits("`usize`"), 2, "{out:#?}");
+        assert_eq!(hits("to_ne_bytes"), 1, "{out:#?}");
+        assert_eq!(hits("from_ne_bytes"), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn persist_is_also_held_to_the_wall_clock_bans() {
+        let out = diags(
+            "crates/persist/src/x.rs",
+            "pub fn stamp() -> u64 {\n\
+                 let _ = std::time::SystemTime::now();\n\
+                 0\n\
+             }",
+        );
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn persist_tests_and_other_crates_keep_their_pointer_widths() {
+        // Pointer widths are idiomatic everywhere else; the layout table is
+        // persist-only, and persist's own test regions are exempt.
+        let out = diags(
+            "crates/sim/src/x.rs",
+            "pub fn fine(n: usize) -> usize { n }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+        let out = diags(
+            "crates/persist/tests/x.rs",
+            "pub fn fine(n: usize) -> usize { n }",
+        );
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

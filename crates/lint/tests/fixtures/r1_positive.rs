@@ -52,4 +52,13 @@ impl CoreState {
     pub fn enqueue(&mut self, v: u64) {
         self.queued.push(v);
     }
+
+    /// VIOLATION: an in-place checkpoint-restore path that rewrites the
+    /// guarded queue but forgets the epoch. A restored core serving cached
+    /// prefixes stamped before the restore is exactly the stale-cache bug
+    /// R1 exists to catch — restore must either bump or go through an
+    /// associated constructor that decodes the saved epoch explicitly.
+    pub fn restore_queue(&mut self, queued: Vec<u64>) {
+        self.queued = queued;
+    }
 }

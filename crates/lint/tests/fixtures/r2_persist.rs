@@ -1,0 +1,33 @@
+//! R2 fixture for the checkpoint codec crate: the wire format must be
+//! platform-independent, so pointer-width integers and native-endian
+//! conversions are banned alongside the usual wall-clock reads.
+
+/// VIOLATION (x2): `usize` in the signature, `to_ne_bytes` in the body.
+pub fn put_len(buf: &mut Vec<u8>, len: usize) {
+    buf.extend_from_slice(&len.to_ne_bytes());
+}
+
+/// VIOLATION (x3): `usize` return width (twice) decoded with
+/// `from_ne_bytes`.
+pub fn read_len(bytes: [u8; 8]) -> usize {
+    usize::from_ne_bytes(bytes)
+}
+
+/// VIOLATION: checkpoints must never observe the OS clock.
+pub fn stamp_header(buf: &mut Vec<u8>) {
+    let _now = std::time::SystemTime::now();
+    buf.push(0);
+}
+
+/// Fine: explicit fixed-width little-endian encoding.
+pub fn put_len_portable(buf: &mut Vec<u8>, len: u64) {
+    buf.extend_from_slice(&len.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test regions keep their pointer widths.
+    pub fn index_math(n: usize) -> usize {
+        n / 2
+    }
+}

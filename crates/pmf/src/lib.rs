@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod convolve;
 pub mod dist;
 pub mod distance;

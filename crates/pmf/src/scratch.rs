@@ -169,6 +169,14 @@ impl PmfScratch {
         self.kernel_calls = 0;
     }
 
+    /// Restores the kernel invocation counter to a checkpointed value, so
+    /// a resumed run reports the same cumulative instrumentation as an
+    /// uninterrupted one. The workspace buffers are untouched — they carry
+    /// no observable state between kernel calls.
+    pub fn set_kernel_calls(&mut self, calls: u64) {
+        self.kernel_calls = calls;
+    }
+
     /// Fused equivalent of `a.convolve(b, policy)`: convolves and reduces
     /// entirely inside the workspace and returns a view of the result,
     /// valid until the next call that touches the workspace.

@@ -22,6 +22,7 @@
 //! once for every mode.
 
 use ecds_cluster::Cluster;
+use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_pmf::Time;
 use ecds_workload::{ExecTable, Task, TaskId};
 
@@ -30,6 +31,7 @@ use crate::energy::EnergyAccountant;
 use crate::event::{EventKind, EventQueue};
 use crate::result::TaskOutcome;
 use crate::state::{CoreState, ExecutingTask, QueuedTask};
+use crate::store::TaskStore;
 use crate::telemetry::{MapperStats, Telemetry};
 use crate::view::{Mapper, SystemView};
 
@@ -65,6 +67,27 @@ pub trait Discipline {
     fn stats(&self) -> MapperStats {
         MapperStats::default()
     }
+
+    /// `true` when the discipline may still assign a task that has arrived
+    /// but holds no assignment yet (batch mode's pending bag). The serving
+    /// loop must not retire such tasks as discarded. Default: `false`
+    /// (immediate mode commits or discards at arrival).
+    fn holds_unassigned_tasks(&self) -> bool {
+        false
+    }
+
+    /// Serializes the discipline's mutable mid-trial state (pending bags,
+    /// ledgers, and the wrapped mapper's state) into a checkpoint.
+    /// Default: no-op for stateless disciplines. Encodings must be
+    /// fixed-width and platform-independent.
+    fn save_state(&self, _enc: &mut Encoder) {}
+
+    /// Restores state written by [`Discipline::save_state`]. Default:
+    /// no-op. A restored discipline never sees `on_trial_start` — the
+    /// decoded state *is* the mid-trial state.
+    fn restore_state(&mut self, _dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        Ok(())
+    }
 }
 
 /// Mutable engine state handed to a [`Discipline`] at each hook.
@@ -78,10 +101,10 @@ pub struct EngineCtx<'a> {
     pub(crate) cluster: &'a Cluster,
     pub(crate) table: &'a ExecTable,
     pub(crate) cfg: &'a SimConfig,
-    pub(crate) tasks: &'a [Task],
+    pub(crate) store: TaskStore,
+    pub(crate) window: usize,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) accountant: EnergyAccountant,
-    pub(crate) outcomes: Vec<TaskOutcome>,
     pub(crate) queue: EventQueue,
     pub(crate) telemetry: Telemetry,
     pub(crate) arrived: usize,
@@ -96,34 +119,34 @@ impl<'a> EngineCtx<'a> {
         cluster: &'a Cluster,
         table: &'a ExecTable,
         cfg: &'a SimConfig,
-        tasks: &'a [Task],
+        tasks: &[Task],
     ) -> Self {
-        let outcomes = tasks
-            .iter()
-            .map(|t| TaskOutcome {
-                task: t.id,
-                type_id: t.type_id,
-                arrival: t.arrival,
-                deadline: t.deadline,
-                assignment: None,
-                start: None,
-                completion: None,
-                cancelled: false,
-            })
-            .collect();
-        let mut queue = EventQueue::new();
+        let mut ctx = Self::new_streaming(cluster, table, cfg);
+        ctx.window = tasks.len();
+        ctx.store = TaskStore::from_tasks(tasks);
         for task in tasks {
-            queue.push(task.arrival, EventKind::Arrival(task.id));
+            ctx.queue.push(task.arrival, EventKind::Arrival(task.id));
         }
+        ctx
+    }
+
+    /// Builds empty engine state for the continuous-serving loop: no tasks
+    /// yet, an empty event queue, and a zero window (the serving loop sets
+    /// the window from its horizon before the first mapping event).
+    pub(crate) fn new_streaming(
+        cluster: &'a Cluster,
+        table: &'a ExecTable,
+        cfg: &'a SimConfig,
+    ) -> Self {
         Self {
             cluster,
             table,
             cfg,
-            tasks,
+            store: TaskStore::new(),
+            window: 0,
             cores: vec![CoreState::new(); cluster.total_cores()],
             accountant: EnergyAccountant::new(cluster, 0.0, cfg.initial_pstate),
-            outcomes,
-            queue,
+            queue: EventQueue::new(),
             telemetry: Telemetry::new(),
             arrived: 0,
             now: 0.0,
@@ -154,16 +177,16 @@ impl<'a> EngineCtx<'a> {
         self.cfg
     }
 
-    /// The trial's tasks, id-ordered.
+    /// One resident task by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was retired by the serving loop or has not been
+    /// streamed in yet (never happens for ids the engine hands to
+    /// discipline hooks).
     #[inline]
-    pub fn tasks(&self) -> &'a [Task] {
-        self.tasks
-    }
-
-    /// One task by id.
-    #[inline]
-    pub fn task(&self, id: TaskId) -> &'a Task {
-        &self.tasks[id.0]
+    pub fn task(&self, id: TaskId) -> &Task {
+        self.store.task(id)
     }
 
     /// Tasks that have arrived so far, including the one being processed.
@@ -172,10 +195,11 @@ impl<'a> EngineCtx<'a> {
         self.arrived
     }
 
-    /// The trial window size (total tasks).
+    /// The trial window size: total tasks for a classic trial, the
+    /// serving horizon (arrived plus lookahead) for a rolling stream.
     #[inline]
     pub fn window(&self) -> usize {
-        self.tasks.len()
+        self.window
     }
 
     /// Total cores in the cluster.
@@ -190,10 +214,11 @@ impl<'a> EngineCtx<'a> {
         &self.cores
     }
 
-    /// Per-task outcomes accumulated so far.
+    /// Resident per-task outcomes accumulated so far (all outcomes for a
+    /// classic trial; the unretired suffix in a serving session).
     #[inline]
     pub fn outcomes(&self) -> &[TaskOutcome] {
-        &self.outcomes
+        self.store.resident_outcomes()
     }
 
     /// Instantaneous average queue depth over all cores (executing tasks
@@ -212,7 +237,7 @@ impl<'a> EngineCtx<'a> {
             &self.cores,
             self.now,
             self.arrived,
-            self.tasks.len(),
+            self.window,
         )
     }
 
@@ -235,7 +260,7 @@ impl<'a> EngineCtx<'a> {
             core < self.cores.len(),
             "mapper chose nonexistent core {core}"
         );
-        self.outcomes[task.0].assignment = Some((core, pstate));
+        self.store.outcome_mut(task).assignment = Some((core, pstate));
     }
 
     /// Starts `task` executing on `core` in `pstate` at the current time:
@@ -247,7 +272,7 @@ impl<'a> EngineCtx<'a> {
     ///
     /// Panics when the core is already executing a task.
     pub fn start_task(&mut self, core: usize, task: TaskId, pstate: ecds_cluster::PState) {
-        let task_data = &self.tasks[task.0];
+        let task_data = *self.store.task(task);
         self.accountant.record(core, self.now, pstate);
         self.cores[core].start(ExecutingTask {
             task,
@@ -256,7 +281,7 @@ impl<'a> EngineCtx<'a> {
             start: self.now,
             deadline: task_data.deadline,
         });
-        self.outcomes[task.0].start = Some(self.now);
+        self.store.outcome_mut(task).start = Some(self.now);
         let node = self.cluster.core(core).node;
         let actual = self
             .table
@@ -268,7 +293,7 @@ impl<'a> EngineCtx<'a> {
     /// Appends `task` to `core`'s FIFO wait queue (immediate mode's
     /// commit-at-arrival for busy cores).
     pub fn enqueue_task(&mut self, core: usize, task: TaskId, pstate: ecds_cluster::PState) {
-        let task_data = &self.tasks[task.0];
+        let task_data = *self.store.task(task);
         self.cores[core].enqueue(QueuedTask {
             task,
             type_id: task_data.type_id,
@@ -297,7 +322,7 @@ impl<'a> EngineCtx<'a> {
     /// Marks `task` as cancelled (the `cancel_overdue` extension dropped
     /// it instead of running it).
     pub fn mark_cancelled(&mut self, task: TaskId) {
-        self.outcomes[task.0].cancelled = true;
+        self.store.outcome_mut(task).cancelled = true;
     }
 
     /// Parks an idle `core` in the configured idle-downshift P-state, if
@@ -381,5 +406,13 @@ impl Discipline for ImmediateDiscipline<'_> {
 
     fn stats(&self) -> MapperStats {
         self.mapper.stats()
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        self.mapper.save_state(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        self.mapper.restore_state(dec)
     }
 }

@@ -34,6 +34,11 @@ use ecds_pmf::Time;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransitionLog {
+    /// Energy of transitions already folded away by
+    /// `TransitionLog::compact`, accumulated in the same left-to-right
+    /// `+=` order [`TransitionLog::core_energy`] would have used, so
+    /// compaction never changes the final sum's bit pattern.
+    folded: f64,
     /// `(time, state entered)`, strictly ordered by time; consecutive
     /// entries always change state (same-state records are coalesced).
     entries: Vec<(Time, PState)>,
@@ -45,9 +50,59 @@ impl TransitionLog {
     pub fn new(start: Time, initial: PState) -> Self {
         assert!(start.is_finite(), "start time must be finite");
         Self {
+            folded: 0.0,
             entries: vec![(start, initial)],
             end: None,
         }
+    }
+
+    /// Rebuilds a log from checkpointed parts (associated constructor for
+    /// the restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is empty (a log always holds the transition
+    /// at workload start).
+    pub(crate) fn from_checkpoint_parts(
+        folded: f64,
+        entries: Vec<(Time, PState)>,
+        end: Option<Time>,
+    ) -> Self {
+        assert!(!entries.is_empty(), "log never empty");
+        Self {
+            folded,
+            entries,
+            end,
+        }
+    }
+
+    /// Energy already folded out of the entry list by
+    /// `TransitionLog::compact` (zero until the first compaction).
+    pub fn folded(&self) -> f64 {
+        self.folded
+    }
+
+    /// Folds every completed segment into [`TransitionLog::folded`] and
+    /// drops all entries but the last, bounding the log's memory by the
+    /// transition rate between compactions instead of the run length.
+    ///
+    /// The fold performs exactly the `+=` sequence
+    /// [`TransitionLog::core_energy`] would have performed over the
+    /// dropped prefix, so the eventual total is bit-identical to an
+    /// uncompacted run. Only valid before [`TransitionLog::finalize`];
+    /// note [`EnergyAccountant::power_timeline`] and
+    /// [`EnergyAccountant::exhaustion_time`] only see transitions that
+    /// survive compaction, so compacting callers must not rely on them.
+    pub(crate) fn compact(&mut self, watts: impl Fn(PState) -> f64) {
+        assert!(self.end.is_none(), "cannot compact a finalized log");
+        for w in self.entries.windows(2) {
+            let (t0, s0) = w[0];
+            let (t1, _) = w[1];
+            self.folded += watts(s0) * (t1 - t0);
+        }
+        let last = *self.entries.last().expect("log never empty");
+        self.entries.clear();
+        self.entries.push(last);
     }
 
     /// Records a transition to `state` at `time`. Out-of-order records are
@@ -96,7 +151,9 @@ impl TransitionLog {
     /// Panics when the log is not finalized.
     pub fn core_energy(&self, watts: impl Fn(PState) -> f64) -> f64 {
         let end = self.end.expect("finalize the log before integrating");
-        let mut total = 0.0;
+        // `folded` is 0.0 unless compaction ran, so the uncompacted f64 op
+        // sequence is unchanged.
+        let mut total = self.folded;
         for w in self.entries.windows(2) {
             let (t0, s0) = w[0];
             let (t1, _) = w[1];
@@ -126,9 +183,27 @@ impl EnergyAccountant {
         }
     }
 
+    /// Rebuilds an accountant from checkpointed per-core logs (associated
+    /// constructor for the restore path).
+    pub(crate) fn from_logs(logs: Vec<TransitionLog>) -> Self {
+        Self { logs }
+    }
+
     /// Records a transition on the core with flat index `core`.
     pub fn record(&mut self, core: usize, time: Time, state: PState) {
         self.logs[core].record(time, state);
+    }
+
+    /// Compacts every core's log (see `TransitionLog::compact`),
+    /// bounding accountant memory for long-running serving loops. Total
+    /// energy stays bit-identical; the power timeline and exhaustion
+    /// query lose the folded prefix, so compaction is only used on the
+    /// unconstrained serving path.
+    pub(crate) fn compact(&mut self, cluster: &Cluster) {
+        for (core, log) in self.logs.iter_mut().enumerate() {
+            let node = cluster.node_of(cluster.core(core));
+            log.compact(|s| node.power.watts(s));
+        }
     }
 
     /// Closes every log at `end`.

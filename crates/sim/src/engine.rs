@@ -74,11 +74,11 @@ impl<'a> Simulation<'a> {
             match event.kind {
                 EventKind::Arrival(task_id) => {
                     ctx.arrived += 1;
-                    debug_assert_eq!(ctx.tasks[task_id.0].id, task_id, "trace must be id-ordered");
+                    debug_assert_eq!(ctx.task(task_id).id, task_id, "trace must be id-ordered");
                     discipline.on_arrival(&mut ctx, task_id);
                 }
                 EventKind::Completion { core, task } => {
-                    ctx.outcomes[task.0].completion = Some(event.time);
+                    ctx.store.outcome_mut(task).completion = Some(event.time);
                     discipline.on_completion(&mut ctx, core, task);
                 }
             }
@@ -95,7 +95,7 @@ impl<'a> Simulation<'a> {
             .and_then(|budget| ctx.accountant.exhaustion_time(cluster, budget));
 
         TrialResult::new(
-            ctx.outcomes,
+            ctx.store.into_outcomes(),
             total_energy,
             exhausted_at,
             end_time,

@@ -105,6 +105,41 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The next insertion sequence number (checkpoint support).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Snapshots every pending event in pop order, carrying each event's
+    /// insertion sequence number so a reconstructed queue pops in exactly
+    /// the same order (checkpoint support).
+    pub(crate) fn snapshot(&self) -> Vec<(Time, EventKind, u64)> {
+        let mut heap = self.heap.clone();
+        let mut out = Vec::with_capacity(heap.len());
+        while let Some(e) = heap.pop() {
+            out.push((e.time, e.kind, e.seq));
+        }
+        out
+    }
+
+    /// Rebuilds a queue from a [`snapshot`](EventQueue::snapshot) and the
+    /// saved `next_seq`. Pop order depends only on the total event order
+    /// (time, rank, seq), so the rebuilt queue replays identically
+    /// regardless of heap-internal layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any event time is not finite (validate before calling
+    /// from a decode path).
+    pub(crate) fn from_parts(next_seq: u64, events: Vec<(Time, EventKind, u64)>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(events.len());
+        for (time, kind, seq) in events {
+            assert!(time.is_finite(), "event time must be finite");
+            heap.push(Event { time, kind, seq });
+        }
+        Self { heap, next_seq }
+    }
 }
 
 #[cfg(test)]

@@ -62,8 +62,10 @@ pub mod event;
 pub mod report;
 pub mod result;
 pub mod scenario;
+pub mod serve;
 pub mod stamp;
 pub mod state;
+mod store;
 pub mod telemetry;
 pub mod view;
 
@@ -75,6 +77,10 @@ pub use event::{EventKind, EventQueue};
 pub use report::EnergyBreakdown;
 pub use result::{TaskOutcome, TrialResult};
 pub use scenario::Scenario;
+pub use serve::{
+    Horizon, Retention, RetiredTally, ServeConfig, ServeSession, ServeSummary, TelemetryFold,
+    CHECKPOINT_VERSION,
+};
 pub use stamp::PrefixStamp;
 pub use state::{CoreState, ExecutingTask, QueuedTask};
 pub use telemetry::{MapperStats, Telemetry};

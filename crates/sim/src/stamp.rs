@@ -10,6 +10,8 @@
 //! two reads of the same stamp with equal epochs are guaranteed to have
 //! observed the same fingerprint.
 
+use ecds_persist::{DecodeError, Decoder, Encoder, Persist};
+
 /// A fingerprint record for one core's cached queue prefix.
 ///
 /// `fingerprint` is `None` while nothing has been stamped *or* when the
@@ -52,6 +54,28 @@ impl PrefixStamp {
     pub fn restamp(&mut self, fingerprint: Option<u64>) {
         self.fingerprint = fingerprint;
         self.epoch += 1;
+    }
+
+    /// Rebuilds a stamp from checkpointed parts. The epoch must be the
+    /// saved value, not zero: a restored observer resumes the exact epoch
+    /// sequence so staleness detection keeps working across the restore
+    /// boundary (associated constructor — exempt from the R1 bump rule
+    /// because it creates a stamp rather than mutating one).
+    pub fn from_checkpoint(fingerprint: Option<u64>, epoch: u64) -> Self {
+        Self { fingerprint, epoch }
+    }
+}
+
+impl Persist for PrefixStamp {
+    fn encode(&self, enc: &mut Encoder) {
+        self.fingerprint.encode(enc);
+        enc.put_u64(self.epoch);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let fingerprint = Option::<u64>::decode(dec)?;
+        let epoch = dec.u64()?;
+        Ok(Self::from_checkpoint(fingerprint, epoch))
     }
 }
 

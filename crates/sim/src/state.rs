@@ -54,6 +54,23 @@ impl CoreState {
         Self::default()
     }
 
+    /// Rebuilds a core's run state from checkpointed parts, including its
+    /// mutation epoch — an exact restore must resume the epoch sequence,
+    /// not restart it, or observers' caches would treat stale derived
+    /// state as fresh (associated constructor: it creates state rather
+    /// than mutating it, so it is exempt from the R1 bump rule).
+    pub(crate) fn from_checkpoint_parts(
+        executing: Option<ExecutingTask>,
+        queued: VecDeque<QueuedTask>,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            executing,
+            queued,
+            epoch,
+        }
+    }
+
     /// The mutation epoch: strictly increases on every
     /// [`enqueue`](CoreState::enqueue), [`start`](CoreState::start),
     /// [`complete`](CoreState::complete), and

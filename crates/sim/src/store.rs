@@ -1,0 +1,303 @@
+//! Windowed storage for tasks and their outcomes.
+//!
+//! The classic engine holds every task and outcome of a trial for its whole
+//! duration; the continuous-serving loop cannot — its arrival stream is
+//! unbounded. [`TaskStore`] keeps the two parallel arrays *windowed*: ids
+//! below `base` have been retired (their outcome folded into the serving
+//! tally) and only the resident suffix stays in memory, so resident bytes
+//! are bounded by in-flight work rather than stream length. The classic
+//! path never retires, so `base` stays 0 and behaviour is unchanged.
+
+use ecds_workload::{Task, TaskId};
+
+use crate::result::TaskOutcome;
+
+/// Running counts of retired (settled and evicted) tasks in a serving
+/// session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetiredTally {
+    /// Tasks retired from the store.
+    pub retired: u64,
+    /// Retired tasks that finished executing (on time or not).
+    pub completed: u64,
+    /// Retired tasks that finished by their deadlines.
+    pub on_time: u64,
+    /// Retired tasks dropped by the `cancel_overdue` extension.
+    pub cancelled: u64,
+    /// Retired tasks the discipline discarded (never assigned).
+    pub discarded: u64,
+}
+
+impl RetiredTally {
+    fn absorb(&mut self, outcome: &TaskOutcome) {
+        self.retired += 1;
+        if outcome.completion.is_some() {
+            self.completed += 1;
+        }
+        if outcome.on_time() {
+            self.on_time += 1;
+        }
+        if outcome.cancelled {
+            self.cancelled += 1;
+        }
+        if outcome.assignment.is_none() {
+            self.discarded += 1;
+        }
+    }
+}
+
+/// Parallel task/outcome arrays with a retired prefix.
+///
+/// `tasks[i]` always has id `base + i`; `outcomes[i]` is its outcome.
+#[derive(Debug)]
+pub(crate) struct TaskStore {
+    base: usize,
+    tasks: Vec<Task>,
+    outcomes: Vec<TaskOutcome>,
+}
+
+impl TaskStore {
+    /// An empty store (streaming construction).
+    pub(crate) fn new() -> Self {
+        Self {
+            base: 0,
+            tasks: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// A store pre-filled with a whole trace (the classic engine path).
+    pub(crate) fn from_tasks(tasks: &[Task]) -> Self {
+        let mut store = Self::new();
+        for &task in tasks {
+            store.push(task);
+        }
+        store
+    }
+
+    /// Rebuilds a store from checkpointed parts; ids stay dense starting
+    /// at `base` (validated by the caller's decode path).
+    pub(crate) fn from_checkpoint_parts(
+        base: usize,
+        tasks: Vec<Task>,
+        outcomes: Vec<TaskOutcome>,
+    ) -> Self {
+        debug_assert_eq!(tasks.len(), outcomes.len());
+        Self {
+            base,
+            tasks,
+            outcomes,
+        }
+    }
+
+    /// Appends the next task of the stream with a blank outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `task.id` is not the next dense id.
+    pub(crate) fn push(&mut self, task: Task) {
+        assert_eq!(
+            task.id.0,
+            self.total(),
+            "arrival stream must be dense and id-ordered"
+        );
+        self.tasks.push(task);
+        self.outcomes.push(TaskOutcome {
+            task: task.id,
+            type_id: task.type_id,
+            arrival: task.arrival,
+            deadline: task.deadline,
+            assignment: None,
+            start: None,
+            completion: None,
+            cancelled: false,
+        });
+    }
+
+    /// First resident id (ids below are retired).
+    pub(crate) fn base(&self) -> usize {
+        self.base
+    }
+
+    /// One past the highest id ever stored.
+    pub(crate) fn total(&self) -> usize {
+        self.base + self.tasks.len()
+    }
+
+    /// Resident task count.
+    pub(crate) fn resident(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The resident tasks, id-ordered from [`TaskStore::base`].
+    pub(crate) fn resident_tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The resident outcomes, parallel to
+    /// [`TaskStore::resident_tasks`].
+    pub(crate) fn resident_outcomes(&self) -> &[TaskOutcome] {
+        &self.outcomes
+    }
+
+    /// One resident task by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is retired or not yet streamed in.
+    pub(crate) fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 - self.base]
+    }
+
+    /// Mutable outcome of one resident task.
+    pub(crate) fn outcome_mut(&mut self, id: TaskId) -> &mut TaskOutcome {
+        &mut self.outcomes[id.0 - self.base]
+    }
+
+    /// Immutable outcome of one resident task.
+    #[cfg(test)]
+    pub(crate) fn outcome(&self, id: TaskId) -> &TaskOutcome {
+        &self.outcomes[id.0 - self.base]
+    }
+
+    /// Retires the maximal settled prefix into `tally` and returns how
+    /// many tasks were evicted.
+    ///
+    /// A task is settled once its fate can never change: it completed, it
+    /// was cancelled, or it arrived unassigned under a discipline that
+    /// commits (or discards) at arrival (`holds_unassigned` is `true` for
+    /// disciplines — batch mode — that may still assign an arrived,
+    /// unassigned task later). Only ids below `arrived` are candidates:
+    /// a streamed-in task whose arrival event has not fired yet has a
+    /// blank outcome that looks discarded but is not settled.
+    pub(crate) fn retire_settled(
+        &mut self,
+        arrived: usize,
+        holds_unassigned: bool,
+        tally: &mut RetiredTally,
+    ) -> usize {
+        let mut n = 0;
+        while n < self.tasks.len() && self.base + n < arrived {
+            let outcome = &self.outcomes[n];
+            let settled = outcome.completion.is_some()
+                || outcome.cancelled
+                || (outcome.assignment.is_none() && !holds_unassigned);
+            if !settled {
+                break;
+            }
+            tally.absorb(outcome);
+            n += 1;
+        }
+        self.tasks.drain(..n);
+        self.outcomes.drain(..n);
+        self.base += n;
+        n
+    }
+
+    /// Consumes the store into the full outcome vector (classic-path
+    /// finalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any outcome was retired — a retired trial can only be
+    /// summarized, not turned into a per-task result.
+    pub(crate) fn into_outcomes(self) -> Vec<TaskOutcome> {
+        assert_eq!(self.base, 0, "cannot build a TrialResult after retirement");
+        self.outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecds_workload::TaskTypeId;
+
+    fn task(id: usize) -> Task {
+        Task {
+            id: TaskId(id),
+            type_id: TaskTypeId(0),
+            arrival: id as f64,
+            deadline: id as f64 + 10.0,
+            quantile: 0.5,
+        }
+    }
+
+    fn filled(n: usize) -> TaskStore {
+        let tasks: Vec<Task> = (0..n).map(task).collect();
+        TaskStore::from_tasks(&tasks)
+    }
+
+    #[test]
+    fn push_creates_blank_outcome() {
+        let store = filled(3);
+        assert_eq!(store.total(), 3);
+        assert_eq!(store.resident(), 3);
+        let o = store.outcome(TaskId(1));
+        assert_eq!(o.task, TaskId(1));
+        assert!(o.assignment.is_none() && o.completion.is_none() && !o.cancelled);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and id-ordered")]
+    fn out_of_order_push_panics() {
+        let mut store = TaskStore::new();
+        store.push(task(1));
+    }
+
+    #[test]
+    fn retire_stops_at_unsettled() {
+        let mut store = filled(4);
+        store.outcome_mut(TaskId(0)).assignment = Some((0, ecds_cluster::PState::P0));
+        store.outcome_mut(TaskId(0)).completion = Some(5.0);
+        store.outcome_mut(TaskId(1)).cancelled = true;
+        store.outcome_mut(TaskId(1)).assignment = Some((0, ecds_cluster::PState::P0));
+        // Task 2: assigned but still running — not settled.
+        store.outcome_mut(TaskId(2)).assignment = Some((0, ecds_cluster::PState::P0));
+        let mut tally = RetiredTally::default();
+        let n = store.retire_settled(4, false, &mut tally);
+        assert_eq!(n, 2);
+        assert_eq!(store.base(), 2);
+        assert_eq!(store.resident(), 2);
+        assert_eq!(tally.retired, 2);
+        assert_eq!(tally.completed, 1);
+        assert_eq!(tally.cancelled, 1);
+        assert_eq!(tally.discarded, 0);
+        // Resident indexing still works after the shift.
+        assert_eq!(store.task(TaskId(2)).id, TaskId(2));
+    }
+
+    #[test]
+    fn unarrived_tasks_are_not_retired_as_discarded() {
+        let mut store = filled(2);
+        let mut tally = RetiredTally::default();
+        // Nothing arrived yet: blank outcomes must not count as discarded.
+        assert_eq!(store.retire_settled(0, false, &mut tally), 0);
+        // Arrived and still unassigned under an immediate discipline:
+        // genuinely discarded.
+        assert_eq!(store.retire_settled(1, false, &mut tally), 1);
+        assert_eq!(tally.discarded, 1);
+        // Batch-style disciplines may still assign it later.
+        assert_eq!(store.retire_settled(2, true, &mut tally), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "after retirement")]
+    fn into_outcomes_rejects_retired_store() {
+        let mut store = filled(1);
+        store.outcome_mut(TaskId(0)).completion = Some(1.0);
+        let mut tally = RetiredTally::default();
+        store.retire_settled(1, false, &mut tally);
+        let _ = store.into_outcomes();
+    }
+
+    #[test]
+    fn on_time_feeds_tally() {
+        let mut store = filled(2);
+        store.outcome_mut(TaskId(0)).completion = Some(5.0); // deadline 10
+        store.outcome_mut(TaskId(1)).completion = Some(99.0); // deadline 11
+        let mut tally = RetiredTally::default();
+        store.retire_settled(2, false, &mut tally);
+        assert_eq!(tally.completed, 2);
+        assert_eq!(tally.on_time, 1);
+    }
+}

@@ -2,6 +2,7 @@
 //! returns at each immediate-mode mapping event.
 
 use ecds_cluster::{Cluster, PState};
+use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_pmf::Time;
 use ecds_workload::{ExecTable, Task};
 
@@ -44,6 +45,20 @@ pub trait Mapper {
     /// a `Default`) rather than adding further methods to this trait.
     fn stats(&self) -> MapperStats {
         MapperStats::default()
+    }
+
+    /// Serializes the mapper's mutable per-trial state (ledgers, RNG
+    /// positions, caches) into a checkpoint. Default: no-op for stateless
+    /// mappers. Implementations must emit a fixed-width, platform-
+    /// independent encoding and restore bit-identically via
+    /// [`Mapper::restore_state`].
+    fn save_state(&self, _enc: &mut Encoder) {}
+
+    /// Restores state written by [`Mapper::save_state`]. Default: no-op.
+    /// The engine never calls `on_trial_start` on a restored mapper — the
+    /// decoded state *is* the mid-trial state.
+    fn restore_state(&mut self, _dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        Ok(())
     }
 }
 

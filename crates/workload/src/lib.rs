@@ -38,6 +38,7 @@ pub mod arrivals;
 pub mod config;
 pub mod etc;
 pub mod exec_table;
+pub mod source;
 pub mod task;
 pub mod trace;
 
@@ -45,5 +46,6 @@ pub use arrivals::{ArrivalPhase, BurstPattern};
 pub use config::WorkloadConfig;
 pub use etc::EtcMatrix;
 pub use exec_table::ExecTable;
+pub use source::{ArrivalSource, BurstyArrivalSource, TraceArrivalSource};
 pub use task::{Task, TaskId, TaskTypeId};
 pub use trace::WorkloadTrace;

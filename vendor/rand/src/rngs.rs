@@ -15,6 +15,25 @@ pub struct StdRng {
 }
 
 impl StdRng {
+    /// The exact 256-bit generator state, for checkpointing. Feeding the
+    /// returned words back through [`StdRng::from_state`] resumes the
+    /// stream at precisely this position.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at the exact position captured by
+    /// [`StdRng::state`]. The all-zero state (unreachable from any seeded
+    /// generator, but representable in a corrupted checkpoint) is escaped
+    /// to the same constants as [`SeedableRng::from_seed`] so the generator
+    /// can never lock up on a zero cycle.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return <Self as SeedableRng>::from_seed([0u8; 32]);
+        }
+        Self { s }
+    }
+
     #[inline]
     fn step(&mut self) -> u64 {
         let result = self.s[0]

@@ -732,6 +732,12 @@ fn type_base_ident(tokens: &[TokenTree]) -> Option<String> {
             TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
             TokenTree::Ident(i) if depth == 0 => base = Some(i.as_str().to_string()),
+            // Tuple, array, and slice self-types (`impl Trait for (A, B)`)
+            // have no base identifier; synthesize a placeholder so such
+            // impls parse (they can never match an epoch-guarded name).
+            TokenTree::Group(_) if depth == 0 && base.is_none() => {
+                base = Some("(non-path)".to_string());
+            }
             _ => {}
         }
     }

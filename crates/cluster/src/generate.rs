@@ -35,6 +35,13 @@ pub struct ClusterGenConfig {
     pub v_base: VoltageRange,
     /// Power-supply efficiency range (paper: 0.90–0.98).
     pub efficiency: Uniform,
+    /// `Some(k)`: draw only `k` distinct node specs (templates) and stamp
+    /// node `i` from template `i mod k` — the mega-scale path, where
+    /// building and checkpointing a 10⁴-node cluster costs O(k) spec
+    /// draws. `None`: every node is drawn independently (the paper's
+    /// fully heterogeneous generation, byte-identical to before this knob
+    /// existed).
+    pub templates: Option<usize>,
 }
 
 impl ClusterGenConfig {
@@ -52,6 +59,7 @@ impl ClusterGenConfig {
             v_deep: VoltageRange::new(1.000, 1.150),
             v_base: VoltageRange::new(1.400, 1.550),
             efficiency: Uniform::new(0.90, 0.98),
+            templates: None,
         }
     }
 
@@ -66,8 +74,26 @@ impl ClusterGenConfig {
         }
     }
 
+    /// A mega-scale configuration: `nodes` nodes stamped from `templates`
+    /// distinct specs, everything else per the paper. This is the knob the
+    /// scaling study turns — 10³–10⁴ nodes stay cheap because only
+    /// `templates` specs are ever drawn.
+    pub fn scaled(nodes: usize, templates: usize) -> Self {
+        Self {
+            nodes,
+            templates: Some(templates),
+            ..Self::paper()
+        }
+    }
+
     fn validate(&self) {
         assert!(self.nodes >= 1, "need at least one node");
+        if let Some(templates) = self.templates {
+            assert!(
+                templates >= 1 && templates <= self.nodes,
+                "template count must be in 1..=nodes"
+            );
+        }
         assert!(
             self.processors_range.0 >= 1 && self.processors_range.0 <= self.processors_range.1,
             "invalid processors range"
@@ -87,20 +113,48 @@ impl ClusterGenConfig {
 /// `seeds`' [`Stream::Cluster`] stream.
 pub fn generate_cluster(cfg: &ClusterGenConfig, seeds: &SeedDerive) -> Cluster {
     cfg.validate();
-    let mut nodes = Vec::with_capacity(cfg.nodes);
-    for i in 0..cfg.nodes {
-        let mut rng = seeds.rng(Stream::Cluster, i as u64, 0);
-        let processors = rng.gen_range(cfg.processors_range.0..=cfg.processors_range.1);
-        let cores = rng.gen_range(cfg.cores_range.0..=cfg.cores_range.1);
-        let ladder = sample_ladder(cfg, &mut rng);
-        let peak = cfg.peak_watts.sample(&mut rng);
-        let v_deep = Uniform::new(cfg.v_deep.lo, cfg.v_deep.hi).sample(&mut rng);
-        let v_base = Uniform::new(cfg.v_base.lo, cfg.v_base.hi).sample(&mut rng);
-        let power = PowerProfile::from_cmos(peak, v_base, v_deep, &ladder);
-        let efficiency = cfg.efficiency.sample(&mut rng);
-        nodes.push(NodeSpec::new(processors, cores, ladder, power, efficiency));
+    match cfg.templates {
+        None => {
+            let mut nodes = Vec::with_capacity(cfg.nodes);
+            for i in 0..cfg.nodes {
+                let mut rng = seeds.rng(Stream::Cluster, i as u64, 0);
+                nodes.push(sample_node(cfg, &mut rng));
+            }
+            Cluster::new(nodes)
+        }
+        Some(num_templates) => {
+            // Substream 1 keeps template draws disjoint from the per-node
+            // substream 0, so the two paths never share RNG state.
+            let specs: Vec<NodeSpec> = (0..num_templates)
+                .map(|t| {
+                    let mut rng = seeds.rng(Stream::Cluster, t as u64, 1);
+                    sample_node(cfg, &mut rng)
+                })
+                .collect();
+            let mut nodes = Vec::with_capacity(cfg.nodes);
+            let mut template_of = Vec::with_capacity(cfg.nodes);
+            for i in 0..cfg.nodes {
+                let t = i % num_templates;
+                nodes.push(specs[t].clone());
+                template_of.push(t as u32);
+            }
+            Cluster::with_templates(nodes, template_of)
+        }
     }
-    Cluster::new(nodes)
+}
+
+/// Draws one node spec: processor/core counts, the P-state ladder, the
+/// CMOS power profile, and the supply efficiency.
+fn sample_node<R: Rng + ?Sized>(cfg: &ClusterGenConfig, rng: &mut R) -> NodeSpec {
+    let processors = rng.gen_range(cfg.processors_range.0..=cfg.processors_range.1);
+    let cores = rng.gen_range(cfg.cores_range.0..=cfg.cores_range.1);
+    let ladder = sample_ladder(cfg, rng);
+    let peak = cfg.peak_watts.sample(rng);
+    let v_deep = Uniform::new(cfg.v_deep.lo, cfg.v_deep.hi).sample(rng);
+    let v_base = Uniform::new(cfg.v_base.lo, cfg.v_base.hi).sample(rng);
+    let power = PowerProfile::from_cmos(peak, v_base, v_deep, &ladder);
+    let efficiency = cfg.efficiency.sample(rng);
+    NodeSpec::new(processors, cores, ladder, power, efficiency)
 }
 
 /// Samples one node's P-state ladder: starting from the deepest state,
@@ -229,5 +283,40 @@ mod tests {
             ..ClusterGenConfig::paper()
         };
         let _ = generate_cluster(&cfg, &SeedDerive::new(1));
+    }
+
+    #[test]
+    fn scaled_config_stamps_templates_round_robin() {
+        let c = generate_cluster(&ClusterGenConfig::scaled(100, 8), &SeedDerive::new(9));
+        assert_eq!(c.num_nodes(), 100);
+        assert_eq!(c.num_templates(), 8);
+        for i in 0..c.num_nodes() {
+            assert_eq!(c.template_of(i), i % 8);
+            assert_eq!(c.node(i), c.node(c.template_of(i)));
+        }
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic() {
+        let a = generate_cluster(&ClusterGenConfig::scaled(1_000, 8), &SeedDerive::new(3));
+        let b = generate_cluster(&ClusterGenConfig::scaled(1_000, 8), &SeedDerive::new(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn untemplated_path_is_unchanged_by_the_knob() {
+        // `templates: None` must generate exactly what the pre-knob code
+        // did: same per-node RNG substreams, same specs.
+        let c = gen();
+        assert_eq!(c.num_templates(), c.num_nodes());
+        for i in 0..c.num_nodes() {
+            assert_eq!(c.template_of(i), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=nodes")]
+    fn more_templates_than_nodes_rejected() {
+        let _ = generate_cluster(&ClusterGenConfig::scaled(4, 5), &SeedDerive::new(1));
     }
 }

@@ -29,20 +29,69 @@ impl std::fmt::Display for CoreId {
 }
 
 /// A heterogeneous compute cluster (paper Fig. 1 level 1).
+///
+/// Every node belongs to a *template* — an equivalence class of nodes with
+/// identical specs. At paper scale each node is its own template (the
+/// identity mapping [`Cluster::new`] installs), so nothing changes; the
+/// mega-scale generator stamps out thousands of nodes from a handful of
+/// templates, and per-node derived data (execution-time pmfs, candidate
+/// classes) is stored once per template instead of once per node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     nodes: Vec<NodeSpec>,
     cores: Vec<CoreId>,
+    template_of: Vec<u32>,
+    num_templates: usize,
 }
 
 impl Cluster {
     /// Builds a cluster from node specs and precomputes the flat core list.
+    /// Each node becomes its own template (the heterogeneous identity
+    /// mapping — exact for the paper's 8 distinct nodes).
     ///
     /// # Panics
     ///
     /// Panics when `nodes` is empty.
     pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        let template_of = (0..nodes.len() as u32).collect();
+        Self::with_templates(nodes, template_of)
+    }
+
+    /// Builds a cluster whose node `i` instantiates template
+    /// `template_of[i]`. Templates let derived per-node tables collapse to
+    /// per-template tables, so a 10⁴-node cluster with 8 templates costs
+    /// what an 8-node cluster does.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty, the mapping length mismatches, a
+    /// template id is unused or out of range, or two nodes sharing a
+    /// template have different specs (templates assert *exact* spec
+    /// equality — that is what makes template-keyed caches sound).
+    pub fn with_templates(nodes: Vec<NodeSpec>, template_of: Vec<u32>) -> Self {
         assert!(!nodes.is_empty(), "cluster needs at least one node");
+        assert_eq!(
+            nodes.len(),
+            template_of.len(),
+            "template mapping must cover every node"
+        );
+        let num_templates = template_of.iter().copied().max().unwrap() as usize + 1;
+        let mut representative = vec![usize::MAX; num_templates];
+        for (node, &template) in template_of.iter().enumerate() {
+            let rep = &mut representative[template as usize];
+            if *rep == usize::MAX {
+                *rep = node;
+            } else {
+                assert_eq!(
+                    nodes[*rep], nodes[node],
+                    "nodes sharing a template must have identical specs"
+                );
+            }
+        }
+        assert!(
+            representative.iter().all(|&r| r != usize::MAX),
+            "every template id up to the maximum must be used"
+        );
         let mut cores = Vec::new();
         let mut flat = 0;
         for (node, spec) in nodes.iter().enumerate() {
@@ -58,7 +107,12 @@ impl Cluster {
                 }
             }
         }
-        Self { nodes, cores }
+        Self {
+            nodes,
+            cores,
+            template_of,
+            num_templates,
+        }
     }
 
     /// Number of nodes `N`.
@@ -101,6 +155,25 @@ impl Cluster {
     #[inline]
     pub fn node_of(&self, core: CoreId) -> &NodeSpec {
         &self.nodes[core.node]
+    }
+
+    /// Number of node templates (== [`Cluster::num_nodes`] for clusters
+    /// built with [`Cluster::new`]).
+    #[inline]
+    pub fn num_templates(&self) -> usize {
+        self.num_templates
+    }
+
+    /// Template id of node `i`.
+    #[inline]
+    pub fn template_of(&self, node: usize) -> usize {
+        self.template_of[node] as usize
+    }
+
+    /// The node→template mapping, node-indexed.
+    #[inline]
+    pub fn templates(&self) -> &[u32] {
+        &self.template_of
     }
 
     /// Eq. 8: `p_avg`, the mean of `μ(i, π)` over all nodes and all
@@ -189,5 +262,44 @@ mod tests {
         let c = Cluster::new(vec![mk_node(1, 1, 130.0)]);
         assert_eq!(c.total_cores(), 1);
         assert_eq!(c.core(0).flat, 0);
+    }
+
+    #[test]
+    fn new_installs_identity_templates() {
+        let c = cluster();
+        assert_eq!(c.num_templates(), c.num_nodes());
+        for i in 0..c.num_nodes() {
+            assert_eq!(c.template_of(i), i);
+        }
+    }
+
+    #[test]
+    fn templated_nodes_share_specs() {
+        let a = mk_node(1, 2, 100.0);
+        let b = mk_node(2, 3, 200.0);
+        let c = Cluster::with_templates(vec![a.clone(), b.clone(), a.clone(), b], vec![0, 1, 0, 1]);
+        assert_eq!(c.num_templates(), 2);
+        assert_eq!(c.template_of(2), 0);
+        assert_eq!(c.total_cores(), 2 + 6 + 2 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical specs")]
+    fn mismatched_template_specs_rejected() {
+        let _ =
+            Cluster::with_templates(vec![mk_node(1, 2, 100.0), mk_node(1, 2, 150.0)], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be used")]
+    fn unused_template_id_rejected() {
+        let _ =
+            Cluster::with_templates(vec![mk_node(1, 2, 100.0), mk_node(1, 2, 100.0)], vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn short_template_mapping_rejected() {
+        let _ = Cluster::with_templates(vec![mk_node(1, 2, 100.0)], vec![]);
     }
 }

@@ -2,14 +2,16 @@
 //! Sec. IV-B and the expectation operators of Sec. V-A.
 
 use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
 
 use ecds_cluster::{PState, NUM_PSTATES};
 use ecds_persist::{DecodeError, Decoder, Encoder, Persist};
 use ecds_pmf::{Pmf, PmfScratch, Prob, ReductionPolicy, Time};
-use ecds_sim::{PrefixStamp, SystemView};
+use ecds_sim::{DirtyCores, PrefixStamp, SystemView};
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
+use crate::shard::{ClassCandidate, ClassKey, Expiry, ShardIndex, CLASS_NONE, ZERO_ESTS};
 
 /// The four quantities Sec. V-A defines per assignment of task `z` to core
 /// `k` (of processor `j`, node `i`) in P-state `π` at time `t_l`.
@@ -259,6 +261,16 @@ pub struct CandidateEvaluator {
     scratch: Option<RefCell<PmfScratch>>,
     /// `None` disables equivalence-class dedup (differential testing).
     dedup: Option<RefCell<DedupScratch>>,
+    /// The persistent shard index of DESIGN.md §13 (`None` falls back to
+    /// the per-event partition — the differential reference). Requires
+    /// both the cache and dedup; disabled alongside either.
+    shard: Option<RefCell<ShardIndex>>,
+    /// Cores whose entry was recomputed by a single-core lookup *outside*
+    /// a sweep: their class membership must be revalidated next sweep.
+    rekey_pending: RefCell<Vec<u32>>,
+    /// Guards [`CandidateEvaluator::refresh_entry`]'s pending push: sweeps
+    /// refresh through the same code path but rekey inline.
+    in_sweep: Cell<bool>,
     hits: Cell<u64>,
     misses: Cell<u64>,
     /// Equivalence classes summed over all deduplicated mapping events.
@@ -278,6 +290,9 @@ impl CandidateEvaluator {
             cache: Some(RefCell::new(Vec::new())),
             scratch: Some(RefCell::new(PmfScratch::new())),
             dedup: Some(RefCell::new(DedupScratch::default())),
+            shard: Some(RefCell::new(ShardIndex::default())),
+            rekey_pending: RefCell::new(Vec::new()),
+            in_sweep: Cell::new(false),
             hits: Cell::new(0),
             misses: Cell::new(0),
             dedup_classes: Cell::new(0),
@@ -294,6 +309,9 @@ impl CandidateEvaluator {
             cache: None,
             scratch: Some(RefCell::new(PmfScratch::new())),
             dedup: Some(RefCell::new(DedupScratch::default())),
+            shard: None,
+            rekey_pending: RefCell::new(Vec::new()),
+            in_sweep: Cell::new(false),
             hits: Cell::new(0),
             misses: Cell::new(0),
             dedup_classes: Cell::new(0),
@@ -316,7 +334,25 @@ impl CandidateEvaluator {
     /// class partition bit-identical.
     pub fn without_candidate_dedup(mut self) -> Self {
         self.dedup = None;
+        self.shard = None;
         self
+    }
+
+    /// Disables the persistent shard index: every deduplicated
+    /// `evaluate_all` rebuilds its class partition from scratch (the
+    /// per-event path of DESIGN.md §11) and
+    /// [`CandidateEvaluator::evaluate_indexed_into`] reports the indexed
+    /// path unavailable. The differential reference the shard-indexed
+    /// default is tested against.
+    pub fn without_shard_index(mut self) -> Self {
+        self.shard = None;
+        self
+    }
+
+    /// `true` when the persistent shard index is enabled (the default;
+    /// requires both the prefix cache and candidate dedup).
+    pub fn has_shard_index(&self) -> bool {
+        self.shard.is_some()
     }
 
     /// The reduction policy in use.
@@ -386,6 +422,10 @@ impl CandidateEvaluator {
         if let Some(scratch) = &self.scratch {
             scratch.borrow_mut().reset_kernel_calls();
         }
+        if let Some(shard) = &self.shard {
+            shard.borrow_mut().reset();
+        }
+        self.rekey_pending.borrow_mut().clear();
         self.hits.set(0);
         self.misses.set(0);
         self.dedup_classes.set(0);
@@ -498,6 +538,12 @@ impl CandidateEvaluator {
                 "checkpoint candidate-dedup configuration mismatch",
             ));
         }
+        // The shard index is derived from the cache entries and never
+        // checkpointed: a restore schedules a full rebuild instead.
+        if let Some(shard) = &self.shard {
+            shard.borrow_mut().reset();
+        }
+        self.rekey_pending.borrow_mut().clear();
         Ok(())
     }
 
@@ -536,6 +582,23 @@ impl CandidateEvaluator {
             return;
         }
         self.misses.set(self.misses.get() + 1);
+        // A single-core recompute outside a sweep silently changes the
+        // prefix bits the core's shard-class membership rests on: queue it
+        // for revalidation at the next sweep. The queue is bounded — once
+        // it outgrows the core count a rebuild is cheaper than a sweep, so
+        // the backlog collapses into a rebuild flag instead of growing.
+        if !self.in_sweep.get() {
+            if let Some(shard) = &self.shard {
+                let mut pending = self.rekey_pending.borrow_mut();
+                let mut shard = shard.borrow_mut();
+                if pending.len() >= shard.class_of.len().max(64) {
+                    shard.needs_rebuild = true;
+                    pending.clear();
+                } else {
+                    pending.push(core as u32);
+                }
+            }
+        }
         let (prefix, valid_until) = self.compute_prefix(view, core);
         let fingerprint = prefix.as_ref().map(Pmf::fingerprint);
         match &mut entries[core] {
@@ -686,8 +749,24 @@ impl CandidateEvaluator {
     /// through its node and queue prefix (DESIGN.md §11). The emitted
     /// candidate stream is unchanged in length, order, and content.
     pub fn evaluate_all(&self, view: &SystemView<'_>, task: &Task) -> Vec<EvaluatedCandidate> {
+        let mut out = Vec::with_capacity(view.cluster().total_cores() * NUM_PSTATES);
+        self.evaluate_all_into(view, task, &mut out);
+        out
+    }
+
+    /// [`CandidateEvaluator::evaluate_all`] into a caller-owned buffer:
+    /// `out` is cleared and refilled, retaining its capacity — the
+    /// steady-state serve path reuses one buffer across every mapping
+    /// event instead of allocating a fresh candidate vector per arrival.
+    pub fn evaluate_all_into(
+        &self,
+        view: &SystemView<'_>,
+        task: &Task,
+        out: &mut Vec<EvaluatedCandidate>,
+    ) {
         let num_cores = view.cluster().total_cores();
-        let mut out = Vec::with_capacity(num_cores * NUM_PSTATES);
+        out.clear();
+        out.reserve(num_cores * NUM_PSTATES);
         let Some(dedup) = &self.dedup else {
             for core in 0..num_cores {
                 self.with_prefix(view, core, |prefix| {
@@ -700,8 +779,49 @@ impl CandidateEvaluator {
                     }
                 });
             }
-            return out;
+            return;
         };
+        if let (Some(shard), Some(cache), Some(_)) = (&self.shard, &self.cache, view.dirty_cores())
+        {
+            // Shard-indexed path: sweep the persistent partition up to
+            // date, then emit per class in core-major order. Counters are
+            // arithmetically exact against the per-event path below. A
+            // view without a dirty-core mailbox takes the per-event path
+            // instead — incrementality (and the warm path's allocation
+            // pin) depends on the engine reporting its epoch bumps.
+            let mut shard = shard.borrow_mut();
+            let mut entries = cache.borrow_mut();
+            self.shard_sweep(&mut shard, &mut entries, view);
+            let entries = &*entries;
+            let shard = &mut *shard;
+            shard.stamp += 1;
+            shard.ests_stamp.resize(shard.classes.len(), 0);
+            shard.ests.resize(shard.classes.len(), ZERO_ESTS);
+            let mut touched = 0u64;
+            for core in 0..num_cores {
+                let id = shard.class_of[core] as usize;
+                if shard.ests_stamp[id] != shard.stamp {
+                    // First member seen in ascending order == the class
+                    // minimum — the same representative the per-event
+                    // partition evaluates.
+                    shard.ests_stamp[id] = shard.stamp;
+                    let prefix = entry_of(entries, core).prefix.as_ref();
+                    shard.ests[id] = PState::ALL
+                        .map(|pstate| self.evaluate_with_prefix(view, task, core, pstate, prefix));
+                    touched += 1;
+                }
+                let ests = shard.ests[id];
+                for (idx, pstate) in PState::ALL.into_iter().enumerate() {
+                    out.push(EvaluatedCandidate {
+                        core,
+                        pstate,
+                        est: ests[idx],
+                    });
+                }
+            }
+            self.note_dedup_event(num_cores, touched);
+            return;
+        }
         let mut scratch = dedup.borrow_mut();
         scratch.classes.clear();
         match &self.cache {
@@ -718,7 +838,7 @@ impl CandidateEvaluator {
                     let entry = entry_of(entries, core);
                     self.emit_for_core(
                         &mut scratch,
-                        &mut out,
+                        out,
                         view,
                         task,
                         core,
@@ -740,7 +860,7 @@ impl CandidateEvaluator {
                     let prefix = prefixes[core].as_ref();
                     self.emit_for_core(
                         &mut scratch,
-                        &mut out,
+                        out,
                         view,
                         task,
                         core,
@@ -754,7 +874,16 @@ impl CandidateEvaluator {
         self.dedup_classes
             .set(self.dedup_classes.get() + scratch.classes.len() as u64);
         self.dedup_events.set(self.dedup_events.get() + 1);
-        out
+    }
+
+    /// Books one deduplicated mapping event that touched `classes` of the
+    /// `num_cores` cores: same arithmetic as the per-event partition
+    /// (`dedup_skipped` counts `NUM_PSTATES` per replicated core).
+    fn note_dedup_event(&self, num_cores: usize, classes: u64) {
+        self.dedup_classes.set(self.dedup_classes.get() + classes);
+        self.dedup_events.set(self.dedup_events.get() + 1);
+        self.dedup_skipped
+            .set(self.dedup_skipped.get() + (num_cores as u64 - classes) * NUM_PSTATES as u64);
     }
 
     /// Resolves `core` against the equivalence classes discovered so far
@@ -807,6 +936,188 @@ impl CandidateEvaluator {
                 est: ests[idx],
             });
         }
+    }
+
+    /// Brings the shard index exactly up to date with `view` (DESIGN.md
+    /// §13): determines which cores' memberships could have drifted since
+    /// the last sweep — epoch bumps via the engine's dirty-core mailbox,
+    /// validity-window expiries via the expiry heap, out-of-sweep
+    /// recomputes via the pending queue — detaches exactly those, then
+    /// refreshes and re-joins them in ascending core order. Falls back to
+    /// a full rebuild whenever incremental correctness can't be proven
+    /// (no mailbox, dropped marks, size change, backward time step).
+    ///
+    /// Cache-counter accounting matches the per-event path exactly: every
+    /// candidate core is refreshed through
+    /// [`CandidateEvaluator::refresh_entry`] (one hit or miss each), and
+    /// every untouched core is a guaranteed hit, booked in bulk.
+    fn shard_sweep(
+        &self,
+        shard: &mut ShardIndex,
+        entries: &mut Vec<Option<CachedPrefix>>,
+        view: &SystemView<'_>,
+    ) {
+        let n = view.cluster().total_cores();
+        let now = view.time();
+        if shard.class_of.len() != n || now < shard.last_now {
+            shard.needs_rebuild = true;
+        }
+        let mut candidates = std::mem::take(&mut shard.candidates);
+        candidates.clear();
+        let mut pending = self.rekey_pending.borrow_mut();
+        // An unbounded pending backlog (e.g. validator loops recomputing
+        // entries between events) makes a rebuild cheaper than a sweep.
+        let mut full = shard.needs_rebuild || pending.len() > n;
+        if !full {
+            match view.dirty_cores() {
+                // `cursor > head` means this is a different mailbox than
+                // the one the cursor was read from: marks may be hidden.
+                Some(dirty) if shard.cursor <= dirty.head() => {
+                    match dirty.marks_since(shard.cursor) {
+                        Some(marks) => {
+                            candidates.extend_from_slice(marks);
+                            shard.cursor = dirty.head();
+                        }
+                        // The mailbox overflowed and dropped marks.
+                        None => full = true,
+                    }
+                }
+                _ => full = true,
+            }
+        }
+        if full {
+            shard.begin_rebuild(n);
+            candidates.clear();
+            candidates.extend(0..n as u32);
+            pending.clear();
+            shard.cursor = view.dirty_cores().map_or(0, DirtyCores::head);
+        } else {
+            // Entries whose exact-validity window has closed may now be
+            // stale even at an unchanged epoch. The heap is lazy: a popped
+            // core's entry may have been recomputed since the push, so it
+            // is re-checked by `refresh_entry` like any other candidate.
+            while let Some(&Reverse(top)) = shard.expiry.peek() {
+                if now <= top.valid_until {
+                    break;
+                }
+                shard.expiry.pop();
+                candidates.push(top.core);
+            }
+            candidates.append(&mut pending);
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+        drop(pending);
+        // Two-phase: detach every candidate first, so phase 2's bit-identity
+        // checks only ever compare against representatives that are either
+        // untouched (still fresh) or already refreshed this sweep.
+        for &core in &candidates {
+            shard.leave(core);
+        }
+        self.in_sweep.set(true);
+        for &core in &candidates {
+            let core = core as usize;
+            self.refresh_entry(entries, view, core);
+            let entries_ref: &[Option<CachedPrefix>] = entries;
+            let e = entry_of(entries_ref, core);
+            if e.valid_until.is_finite() {
+                shard.expiry.push(Reverse(Expiry {
+                    valid_until: e.valid_until,
+                    core: core as u32,
+                }));
+            }
+            let node = view.cluster().core(core).node;
+            let key = ClassKey {
+                template: view.cluster().template_of(node) as u32,
+                fingerprint: e.stamp.fingerprint(),
+                depth: view.core_state(core).depth() as u32,
+            };
+            let prefix = e.prefix.as_ref();
+            shard.join(core as u32, key, |rep| {
+                prefix_bit_eq(prefix, entry_of(entries_ref, rep as usize).prefix.as_ref())
+            });
+        }
+        self.in_sweep.set(false);
+        // Every non-candidate core's entry is provably fresh (epoch
+        // unmarked, validity window still open, no out-of-sweep recompute):
+        // book the hits the per-event path would count one by one.
+        self.hits
+            .set(self.hits.get() + (n - candidates.len()) as u64);
+        shard.candidates = candidates;
+        shard.last_now = now;
+        shard.needs_rebuild = false;
+    }
+
+    /// Evaluates every candidate assignment for `task` as one
+    /// [`ClassCandidate`] per equivalence class — the five per-P-state
+    /// estimates computed once on each class's minimum member — without
+    /// materializing the `cores × P-states` candidate stream. `out` is
+    /// cleared and refilled (capacity retained) in deterministic key order.
+    ///
+    /// Returns `false`, leaving `out` empty, when the shard index is
+    /// disabled or the view carries no dirty-core mailbox (incrementality
+    /// depends on the engine reporting epoch bumps); callers fall back to
+    /// [`CandidateEvaluator::evaluate_all_into`]. Cache and dedup counters
+    /// advance exactly as a full-scan `evaluate_all` would.
+    pub fn evaluate_indexed_into(
+        &self,
+        view: &SystemView<'_>,
+        task: &Task,
+        out: &mut Vec<ClassCandidate>,
+    ) -> bool {
+        out.clear();
+        let (Some(shard), Some(cache), Some(_)) = (&self.shard, &self.cache, view.dirty_cores())
+        else {
+            return false;
+        };
+        let num_cores = view.cluster().total_cores();
+        let mut shard = shard.borrow_mut();
+        let mut entries = cache.borrow_mut();
+        self.shard_sweep(&mut shard, &mut entries, view);
+        let entries = &*entries;
+        let ShardIndex {
+            by_key,
+            classes,
+            class_of,
+            active,
+            ..
+        } = &mut *shard;
+        out.reserve(*active);
+        // BTreeMap key order, then chain order, is deterministic — though
+        // selection never depends on it: indexed tie-breaks anchor on
+        // `min_core`, reproducing the full scan's first-wins argmin.
+        for (&key, &head) in by_key.iter() {
+            let mut id = head;
+            while id != CLASS_NONE {
+                let class = &mut classes[id as usize];
+                // Lazy min-member scan, as in `ShardIndex::min_member`
+                // (inlined: the map iteration holds `by_key` borrowed).
+                let rep = loop {
+                    let &Reverse(top) = class
+                        .members
+                        .peek()
+                        .expect("a live class has at least one member");
+                    if class_of[top as usize] == id {
+                        break top as usize;
+                    }
+                    class.members.pop();
+                };
+                let prefix = entry_of(entries, rep).prefix.as_ref();
+                let ests = PState::ALL
+                    .map(|pstate| self.evaluate_with_prefix(view, task, rep, pstate, prefix));
+                out.push(ClassCandidate {
+                    min_core: rep,
+                    depth: key.depth as usize,
+                    members: class.count as usize,
+                    ests,
+                    retained: [true; NUM_PSTATES],
+                });
+                id = class.next;
+            }
+        }
+        debug_assert_eq!(out.len(), *active);
+        self.note_dedup_event(num_cores, out.len() as u64);
+        true
     }
 }
 
@@ -1320,6 +1631,197 @@ mod tests {
         let ev = CandidateEvaluator::default().without_fused_kernel();
         let _ = ev.evaluate_all(&view, &task);
         assert_eq!(ev.fused_kernel_calls(), 0);
+    }
+
+    /// Asserts every observable counter of the two evaluators agrees —
+    /// the shard-indexed path must be *arithmetically* exact, not just
+    /// bit-identical in its candidate stream, because the committed
+    /// artifacts embed these counters.
+    fn assert_counters_eq(a: &CandidateEvaluator, b: &CandidateEvaluator) {
+        assert_eq!(a.prefix_cache_stats(), b.prefix_cache_stats());
+        assert_eq!(a.dedup_stats(), b.dedup_stats());
+        assert_eq!(a.dedup_skipped_evaluations(), b.dedup_skipped_evaluations());
+        assert_eq!(a.fused_kernel_calls(), b.fused_kernel_calls());
+    }
+
+    #[test]
+    fn shard_indexed_evaluate_all_stays_exact_across_mutations() {
+        let s = scenario();
+        let mut cores = idle_cores(&s);
+        let mut dirty = ecds_sim::DirtyCores::default();
+        let shard = CandidateEvaluator::default();
+        let reference = CandidateEvaluator::default().without_shard_index();
+        assert!(shard.has_shard_index());
+        assert!(!reference.has_shard_index());
+        let n = s.cluster().total_cores();
+        let mut now = 0.0;
+        for step in 0..8 {
+            let task = mk_task(&s, now);
+            {
+                let view = SystemView::new(s.cluster(), s.table(), &cores, now, 1 + step, 60)
+                    .with_dirty(&dirty);
+                assert!(candidates_bit_eq(
+                    &shard.evaluate_all(&view, &task),
+                    &reference.evaluate_all(&view, &task)
+                ));
+                assert_counters_eq(&shard, &reference);
+            }
+            // Mutate a handful of cores — epoch bumps the engine would
+            // report through the mailbox — and advance time unevenly so
+            // some steps cross validity windows.
+            for k in 0..=(step % 3) {
+                let c = (step * 5 + k * 7) % n;
+                if cores[c].executing().is_some() {
+                    cores[c].enqueue(QueuedTask {
+                        task: TaskId(1000 + step * 10 + k),
+                        type_id: TaskTypeId((step + k) % 3),
+                        pstate: PState::P2,
+                        deadline: now + 6000.0,
+                    });
+                } else {
+                    cores[c].start(ExecutingTask {
+                        task: TaskId(500 + step * 10 + k),
+                        type_id: TaskTypeId(step % 3),
+                        pstate: PState::P1,
+                        start: now,
+                        deadline: now + 5000.0,
+                    });
+                }
+                dirty.mark(c);
+            }
+            now += 0.5 + 150.0 * (step % 4) as f64;
+        }
+    }
+
+    #[test]
+    fn shard_expiry_recomputes_stale_windows_without_marks() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let dirty = ecds_sim::DirtyCores::default();
+        let shard = CandidateEvaluator::default();
+        let reference = CandidateEvaluator::default().without_shard_index();
+        let task = mk_task(&s, 1.0);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 60).with_dirty(&dirty);
+        assert!(candidates_bit_eq(
+            &shard.evaluate_all(&view, &task),
+            &reference.evaluate_all(&view, &task)
+        ));
+        // Jump far past every executing pmf's first impulse with NO dirty
+        // marks: every prefix's truncation changes, so both evaluators
+        // must recompute every busy core — the shard finds them through
+        // its expiry heap alone.
+        let node = s.cluster().core(0).node;
+        let raw = s.table().pmf(TaskTypeId(0), node, PState::P1);
+        let late_t = raw.min_value() + raw.expectation() * 3.0;
+        let late_task = mk_task(&s, late_t);
+        let late =
+            SystemView::new(s.cluster(), s.table(), &cores, late_t, 2, 60).with_dirty(&dirty);
+        assert!(candidates_bit_eq(
+            &shard.evaluate_all(&late, &late_task),
+            &reference.evaluate_all(&late, &late_task)
+        ));
+        assert_counters_eq(&shard, &reference);
+        let (_, misses) = shard.prefix_cache_stats().unwrap();
+        let n = s.cluster().total_cores() as u64;
+        assert!(misses > n, "the second event must have recomputed");
+    }
+
+    #[test]
+    fn shard_revalidates_out_of_sweep_recomputes() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let dirty = ecds_sim::DirtyCores::default();
+        let shard = CandidateEvaluator::default();
+        let reference = CandidateEvaluator::default().without_shard_index();
+        let task = mk_task(&s, 1.0);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 60).with_dirty(&dirty);
+        let _ = shard.evaluate_all(&view, &task);
+        let _ = reference.evaluate_all(&view, &task);
+        // A validator-style single-core lookup between events, late enough
+        // to recompute core 0's entry outside any sweep: the shard must
+        // revalidate its membership at the next event.
+        let node = s.cluster().core(0).node;
+        let raw = s.table().pmf(TaskTypeId(0), node, PState::P1);
+        let late_t = raw.min_value() + raw.expectation();
+        let late_task = mk_task(&s, late_t);
+        let late =
+            SystemView::new(s.cluster(), s.table(), &cores, late_t, 2, 60).with_dirty(&dirty);
+        let a = shard.evaluate(&late, &late_task, 0, PState::P0);
+        let b = reference.evaluate(&late, &late_task, 0, PState::P0);
+        assert!(a.bit_eq(&b));
+        assert!(candidates_bit_eq(
+            &shard.evaluate_all(&late, &late_task),
+            &reference.evaluate_all(&late, &late_task)
+        ));
+        assert_counters_eq(&shard, &reference);
+    }
+
+    #[test]
+    fn shard_rebuilds_after_reset() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let dirty = ecds_sim::DirtyCores::default();
+        let shard = CandidateEvaluator::default();
+        let task = mk_task(&s, 1.0);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 60).with_dirty(&dirty);
+        let before = shard.evaluate_all(&view, &task);
+        shard.reset_cache();
+        let fresh = CandidateEvaluator::default().without_shard_index();
+        assert!(candidates_bit_eq(
+            &shard.evaluate_all(&view, &task),
+            &fresh.evaluate_all(&view, &task)
+        ));
+        assert_counters_eq(&shard, &fresh);
+        assert!(candidates_bit_eq(
+            &before,
+            &shard.evaluate_all(&view, &task)
+        ));
+    }
+
+    #[test]
+    fn indexed_classes_cover_every_core_with_identical_estimates() {
+        let s = scenario();
+        let cores = busy_cores(&s);
+        let dirty = ecds_sim::DirtyCores::default();
+        let ev = CandidateEvaluator::default();
+        let task = mk_task(&s, 1.0);
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 1.0, 1, 60).with_dirty(&dirty);
+        let mut classes = Vec::new();
+        assert!(ev.evaluate_indexed_into(&view, &task, &mut classes));
+        let n = s.cluster().total_cores();
+        assert_eq!(classes.iter().map(|c| c.members).sum::<usize>(), n);
+        // Each class's estimates are bit-identical to the representative's
+        // candidates in the materialized stream (same sweep: cache hits).
+        let all = CandidateEvaluator::default()
+            .without_shard_index()
+            .evaluate_all(&view, &task);
+        for class in &classes {
+            assert!(class.any_retained());
+            for (pi, est) in class.ests.iter().enumerate() {
+                let cand = &all[class.min_core * NUM_PSTATES + pi];
+                assert_eq!(cand.core, class.min_core);
+                assert!(est.bit_eq(&cand.est));
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_path_requires_shard_and_mailbox() {
+        let s = scenario();
+        let cores = idle_cores(&s);
+        let task = mk_task(&s, 0.0);
+        let mut classes = Vec::new();
+        // No shard index configured.
+        let dirty = ecds_sim::DirtyCores::default();
+        let view = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60).with_dirty(&dirty);
+        let off = CandidateEvaluator::default().without_shard_index();
+        assert!(!off.evaluate_indexed_into(&view, &task, &mut classes));
+        assert!(classes.is_empty());
+        // Shard on, but the view has no dirty-core mailbox.
+        let bare = SystemView::new(s.cluster(), s.table(), &cores, 0.0, 1, 60);
+        let on = CandidateEvaluator::default();
+        assert!(!on.evaluate_indexed_into(&bare, &task, &mut classes));
+        assert!(classes.is_empty());
     }
 
     #[test]

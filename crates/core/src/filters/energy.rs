@@ -16,6 +16,7 @@ use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
 use crate::filters::{Filter, FilterCtx};
+use crate::shard::ClassCandidate;
 
 /// The queue-depth-adaptive ζ_mul schedule.
 ///
@@ -119,6 +120,29 @@ impl Filter for EnergyFilter {
     ) {
         let fair = self.fair_share(view, ctx);
         candidates.retain(|c| c.est.eec <= fair);
+    }
+
+    fn supports_indexed(&self) -> bool {
+        true
+    }
+
+    fn retain_indexed(
+        &self,
+        _task: &Task,
+        view: &SystemView<'_>,
+        ctx: &FilterCtx,
+        classes: &mut Vec<ClassCandidate>,
+    ) {
+        // The same `eec <= fair` predicate on the same bits: every member
+        // of a class shares its estimates, so feasibility is per
+        // (class, P-state).
+        let fair = self.fair_share(view, ctx);
+        for class in classes.iter_mut() {
+            for (pi, retained) in class.retained.iter_mut().enumerate() {
+                *retained = *retained && class.ests[pi].eec <= fair;
+            }
+        }
+        classes.retain(ClassCandidate::any_retained);
     }
 }
 

@@ -14,6 +14,7 @@ use ecds_sim::SystemView;
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
+use crate::shard::ClassCandidate;
 
 /// Scheduler state a filter may consult.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +40,30 @@ pub trait Filter: Send {
         ctx: &FilterCtx,
         candidates: &mut Vec<EvaluatedCandidate>,
     );
+
+    /// `true` when [`Filter::retain_indexed`] reproduces this filter's
+    /// feasibility decision on the equivalence-class form. Holds for any
+    /// filter whose predicate depends only on the candidate's estimates
+    /// and shared scheduler state (every member of a class carries
+    /// bit-identical estimates). Default: `false`.
+    fn supports_indexed(&self) -> bool {
+        false
+    }
+
+    /// Narrows per-class P-state feasibility in place — clearing
+    /// [`ClassCandidate::retained`] flags and dropping classes with no
+    /// feasible P-state left — bit-identical to what [`Filter::retain`]
+    /// keeps on the materialized stream. Only called when
+    /// [`Filter::supports_indexed`] returns `true`.
+    fn retain_indexed(
+        &self,
+        _task: &Task,
+        _view: &SystemView<'_>,
+        _ctx: &FilterCtx,
+        _classes: &mut Vec<ClassCandidate>,
+    ) {
+        unreachable!("retain_indexed requires supports_indexed()")
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
 use crate::filters::{Filter, FilterCtx};
+use crate::shard::ClassCandidate;
 
 /// The paper's robustness filter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +61,25 @@ impl Filter for RobustnessFilter {
         candidates: &mut Vec<EvaluatedCandidate>,
     ) {
         candidates.retain(|c| c.est.rho >= self.threshold);
+    }
+
+    fn supports_indexed(&self) -> bool {
+        true
+    }
+
+    fn retain_indexed(
+        &self,
+        _task: &Task,
+        _view: &SystemView<'_>,
+        _ctx: &FilterCtx,
+        classes: &mut Vec<ClassCandidate>,
+    ) {
+        for class in classes.iter_mut() {
+            for (pi, retained) in class.retained.iter_mut().enumerate() {
+                *retained = *retained && class.ests[pi].rho >= self.threshold;
+            }
+        }
+        classes.retain(ClassCandidate::any_retained);
     }
 }
 

@@ -1,11 +1,13 @@
 //! The Lightest Load heuristic — the paper's new heuristic (Sec. V-D,
 //! inspired by \[BaM09\]).
 
+use ecds_cluster::PState;
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
-use crate::heuristics::{argmin_by_key, Heuristic};
+use crate::heuristics::{argmin_by_key, argmin_indexed, Heuristic};
+use crate::shard::ClassCandidate;
 
 /// **LL**: define the *load* of an assignment as
 ///
@@ -38,6 +40,21 @@ impl Heuristic for LightestLoad {
         candidates: &[EvaluatedCandidate],
     ) -> Option<usize> {
         argmin_by_key(candidates, load_value)
+    }
+
+    fn supports_indexed(&self) -> bool {
+        true
+    }
+
+    fn choose_indexed(
+        &mut self,
+        _task: &Task,
+        _view: &SystemView<'_>,
+        classes: &[ClassCandidate],
+    ) -> Option<(usize, PState)> {
+        // The exact expression of `load_value`, term for term — the keys
+        // must carry identical bits for the tie-break to be identical.
+        argmin_indexed(classes, |est| est.eec * (1.0 - est.rho))
     }
 }
 

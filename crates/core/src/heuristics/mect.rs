@@ -1,11 +1,13 @@
 //! The Minimum Expected Completion Time heuristic (paper Sec. V-C, after
 //! \[MaA99\]'s MCT adapted to stochastic completion times).
 
+use ecds_cluster::PState;
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
-use crate::heuristics::{argmin_by_key, Heuristic};
+use crate::heuristics::{argmin_by_key, argmin_indexed, Heuristic};
+use crate::shard::ClassCandidate;
 
 /// **MECT**: assign to the feasible (core, P-state) pair minimizing the
 /// expectation of the stochastic completion-time distribution,
@@ -27,6 +29,19 @@ impl Heuristic for MinimumExpectedCompletionTime {
         candidates: &[EvaluatedCandidate],
     ) -> Option<usize> {
         argmin_by_key(candidates, |c| c.est.ect)
+    }
+
+    fn supports_indexed(&self) -> bool {
+        true
+    }
+
+    fn choose_indexed(
+        &mut self,
+        _task: &Task,
+        _view: &SystemView<'_>,
+        classes: &[ClassCandidate],
+    ) -> Option<(usize, PState)> {
+        argmin_indexed(classes, |est| est.ect)
     }
 }
 

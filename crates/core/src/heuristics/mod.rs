@@ -16,11 +16,13 @@ pub mod olb;
 pub mod random;
 pub mod sq;
 
+use ecds_cluster::PState;
 use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
+use crate::shard::ClassCandidate;
 
 /// An immediate-mode assignment heuristic.
 pub trait Heuristic: Send {
@@ -35,6 +37,29 @@ pub trait Heuristic: Send {
         view: &SystemView<'_>,
         candidates: &[EvaluatedCandidate],
     ) -> Option<usize>;
+
+    /// `true` when [`Heuristic::choose_indexed`] reproduces this
+    /// heuristic's selection from the equivalence-class form. Heuristics
+    /// whose choice depends on candidate *positions* (Random's RNG draw,
+    /// KPB's percentile cut over the materialized list) stay on the full
+    /// scan. Default: `false`.
+    fn supports_indexed(&self) -> bool {
+        false
+    }
+
+    /// Chooses `(class index, P-state)` from the indexed candidate form —
+    /// bit-identical (same core, same P-state) to what
+    /// [`Heuristic::choose`] would pick from the materialized core-major
+    /// stream, or `None` when `classes` is empty. Only called when
+    /// [`Heuristic::supports_indexed`] returns `true`.
+    fn choose_indexed(
+        &mut self,
+        _task: &Task,
+        _view: &SystemView<'_>,
+        _classes: &[ClassCandidate],
+    ) -> Option<(usize, PState)> {
+        unreachable!("choose_indexed requires supports_indexed()")
+    }
 
     /// Resets per-trial internal state. Default: no-op.
     fn reset(&mut self) {}
@@ -65,6 +90,44 @@ where
         }
     }
     best.map(|(idx, _)| idx)
+}
+
+/// Selects the `(class index, P-state)` minimizing `key` over every
+/// retained (class, P-state) pair — breaking float-equal ties exactly like
+/// the full scan's first-wins argmin over the core-major stream: the
+/// lexicographically smallest `(min_core, P-state)` wins. (Every member of
+/// a class carries bit-identical estimates, so the first stream occurrence
+/// of a tied key sits at the smallest member core of the tied classes.)
+pub(crate) fn argmin_indexed<F>(classes: &[ClassCandidate], mut key: F) -> Option<(usize, PState)>
+where
+    F: FnMut(&crate::estimate::AssignmentEstimate) -> f64,
+{
+    let mut best: Option<(usize, PState, f64)> = None;
+    for (ci, class) in classes.iter().enumerate() {
+        for (pi, pstate) in PState::ALL.into_iter().enumerate() {
+            if !class.retained[pi] {
+                continue;
+            }
+            let k = key(&class.ests[pi]);
+            debug_assert!(!k.is_nan(), "heuristic keys must not be NaN");
+            let better = match best {
+                None => true,
+                Some((bci, bp, bk)) => {
+                    if k < bk {
+                        true
+                    } else if k > bk {
+                        false
+                    } else {
+                        (class.min_core, pstate.index()) < (classes[bci].min_core, bp.index())
+                    }
+                }
+            };
+            if better {
+                best = Some((ci, pstate, k));
+            }
+        }
+    }
+    best.map(|(ci, pstate, _)| (ci, pstate))
 }
 
 #[cfg(test)]

@@ -1,10 +1,12 @@
 //! The Shortest Queue heuristic (paper Sec. V-B, after \[SmC09\]).
 
+use ecds_cluster::PState;
 use ecds_sim::SystemView;
 use ecds_workload::Task;
 
 use crate::candidate::EvaluatedCandidate;
 use crate::heuristics::{argmin_by_key, Heuristic};
+use crate::shard::ClassCandidate;
 
 /// **SQ**: assign to the feasible core with the fewest pending tasks
 /// (`|MQ(i,j,k,t_l)|`); among equal queue lengths, pick the (core, P-state)
@@ -46,6 +48,57 @@ impl Heuristic for ShortestQueue {
             // min_depth core always yields at least one candidate).
             argmin_by_key(candidates, |c| c.est.eet)
         })
+    }
+
+    fn supports_indexed(&self) -> bool {
+        true
+    }
+
+    fn choose_indexed(
+        &mut self,
+        _task: &Task,
+        _view: &SystemView<'_>,
+        classes: &[ClassCandidate],
+    ) -> Option<(usize, PState)> {
+        // Queue depth is part of the class key, so the two-pass structure
+        // of `choose` maps directly: every member of a class shares one
+        // depth (and bit-identical estimates), making the first stream
+        // occurrence of a tied minimum EET the smallest `(min_core,
+        // P-state)` among min-depth classes.
+        let min_depth = classes
+            .iter()
+            .filter(|c| c.any_retained())
+            .map(|c| c.depth)
+            .min()?;
+        let mut best: Option<(usize, PState, f64)> = None;
+        for (ci, class) in classes.iter().enumerate() {
+            if class.depth != min_depth {
+                continue;
+            }
+            for (pi, pstate) in PState::ALL.into_iter().enumerate() {
+                if !class.retained[pi] {
+                    continue;
+                }
+                let eet = class.ests[pi].eet;
+                let better = match best {
+                    None => true,
+                    Some((bci, bp, bk)) => {
+                        if eet < bk {
+                            true
+                        } else if eet > bk {
+                            false
+                        } else {
+                            (class.min_core, pstate.index()) < (classes[bci].min_core, bp.index())
+                        }
+                    }
+                };
+                if better {
+                    best = Some((ci, pstate, eet));
+                }
+            }
+        }
+        debug_assert!(best.is_some());
+        best.map(|(ci, pstate, _)| (ci, pstate))
     }
 }
 

@@ -55,6 +55,7 @@ pub mod filters;
 pub mod heuristics;
 pub mod robustness;
 pub mod scheduler;
+pub mod shard;
 
 pub use candidate::{candidates_bit_eq, EvaluatedCandidate};
 pub use estimate::{pending_completion_pmf, AssignmentEstimate, CandidateEvaluator};
@@ -73,3 +74,4 @@ pub use heuristics::sq::ShortestQueue;
 pub use heuristics::Heuristic;
 pub use robustness::{core_robustness, system_robustness};
 pub use scheduler::Scheduler;
+pub use shard::ClassCandidate;

@@ -5,9 +5,11 @@ use ecds_pmf::ReductionPolicy;
 use ecds_sim::{Assignment, Mapper, MapperStats, SystemView};
 use ecds_workload::{Task, TaskId};
 
+use crate::candidate::EvaluatedCandidate;
 use crate::estimate::CandidateEvaluator;
 use crate::filters::{Filter, FilterCtx};
 use crate::heuristics::Heuristic;
+use crate::shard::ClassCandidate;
 
 /// An immediate-mode resource-allocation scheduler: a heuristic wrapped in
 /// an (optional) filter chain, with the Sec. V-F remaining-energy ledger.
@@ -45,6 +47,11 @@ pub struct Scheduler {
     remaining: f64,
     record_predictions: bool,
     predictions: Vec<(ecds_workload::TaskId, f64)>,
+    /// Reused full-scan candidate buffer: one assignment allocates nothing
+    /// in the steady state.
+    candidates: Vec<EvaluatedCandidate>,
+    /// Reused indexed (per-class) candidate buffer.
+    indexed: Vec<ClassCandidate>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -82,6 +89,8 @@ impl Scheduler {
             remaining: budget,
             record_predictions: false,
             predictions: Vec::new(),
+            candidates: Vec::new(),
+            indexed: Vec::new(),
         }
     }
 
@@ -111,6 +120,15 @@ impl Scheduler {
     /// rebuilds the evaluator).
     pub fn without_candidate_dedup(mut self) -> Self {
         self.evaluator = self.evaluator.without_candidate_dedup();
+        self
+    }
+
+    /// Disables the evaluator's persistent shard index: every mapping
+    /// event rebuilds its class partition from scratch and selection runs
+    /// on the materialized candidate stream. The reference configuration
+    /// the shard-indexed default is differentially tested against.
+    pub fn without_shard_index(mut self) -> Self {
+        self.evaluator = self.evaluator.without_shard_index();
         self
     }
 
@@ -171,19 +189,48 @@ impl Mapper for Scheduler {
     }
 
     fn assign(&mut self, task: &Task, view: &SystemView<'_>) -> Option<Assignment> {
-        let mut candidates = self.evaluator.evaluate_all(view, task);
         let ctx = FilterCtx {
             remaining_energy: self.remaining,
             budget: self.budget,
         };
+        // Indexed top-k selection (DESIGN.md §13): when the whole pipeline
+        // can decide from the equivalence-class form, skip materializing
+        // the cores × P-states stream. Bit-identical to the full scan —
+        // same chosen core, P-state, ledger decrement, and prediction.
+        if self.heuristic.supports_indexed()
+            && self.filters.iter().all(|f| f.supports_indexed())
+            && self
+                .evaluator
+                .evaluate_indexed_into(view, task, &mut self.indexed)
+        {
+            for filter in &self.filters {
+                filter.retain_indexed(task, view, &ctx, &mut self.indexed);
+                if self.indexed.is_empty() {
+                    return None; // the task is discarded
+                }
+            }
+            let (ci, pstate) = self.heuristic.choose_indexed(task, view, &self.indexed)?;
+            let class = self.indexed[ci];
+            let est = class.ests[pstate.index()];
+            self.remaining -= est.eec;
+            if self.record_predictions {
+                self.predictions.push((task.id, est.rho));
+            }
+            return Some(Assignment {
+                core: class.min_core,
+                pstate,
+            });
+        }
+        self.evaluator
+            .evaluate_all_into(view, task, &mut self.candidates);
         for filter in &self.filters {
-            filter.retain(task, view, &ctx, &mut candidates);
-            if candidates.is_empty() {
+            filter.retain(task, view, &ctx, &mut self.candidates);
+            if self.candidates.is_empty() {
                 return None; // the task is discarded
             }
         }
-        let idx = self.heuristic.choose(task, view, &candidates)?;
-        let chosen = candidates[idx];
+        let idx = self.heuristic.choose(task, view, &self.candidates)?;
+        let chosen = self.candidates[idx];
         self.remaining -= chosen.est.eec;
         if self.record_predictions {
             self.predictions.push((task.id, chosen.est.rho));
@@ -360,6 +407,47 @@ mod tests {
         let mut sched = unconstrained(Box::new(ShortestQueue));
         let _ = Simulation::new(&s, &trace).run(&mut sched);
         assert!(sched.predictions().is_empty());
+    }
+
+    #[test]
+    fn shard_indexed_selection_matches_full_scan_end_to_end() {
+        use crate::heuristics::ll::LightestLoad;
+        let s = Scenario::small_for_tests(12);
+        let trace = s.trace(0);
+        let budget = s.energy_budget().unwrap();
+        let heuristics: [fn() -> Box<dyn Heuristic>; 3] = [
+            || Box::new(ShortestQueue),
+            || Box::new(MinimumExpectedCompletionTime),
+            || Box::new(LightestLoad),
+        ];
+        for mk in heuristics {
+            for filtered in [false, true] {
+                let filters = || -> Vec<Box<dyn Filter>> {
+                    if filtered {
+                        vec![
+                            Box::new(EnergyFilter::paper()),
+                            Box::new(RobustnessFilter::paper()),
+                        ]
+                    } else {
+                        vec![]
+                    }
+                };
+                let mut indexed =
+                    Scheduler::new(mk(), filters(), budget, ReductionPolicy::default());
+                let mut full = Scheduler::new(mk(), filters(), budget, ReductionPolicy::default())
+                    .without_shard_index();
+                let a = Simulation::new(&s, &trace).run(&mut indexed);
+                let b = Simulation::new(&s, &trace).run(&mut full);
+                assert_eq!(
+                    a.outcomes(),
+                    b.outcomes(),
+                    "indexed selection diverged ({}, filtered={filtered})",
+                    indexed.label()
+                );
+                assert_eq!(indexed.remaining_energy(), full.remaining_energy());
+                assert_eq!(indexed.stats(), full.stats(), "{}", indexed.label());
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ecds_cluster::PState;
-use ecds_core::{candidates_bit_eq, CandidateEvaluator};
-use ecds_sim::{CoreState, ExecutingTask, QueuedTask, Scenario, SystemView};
+use ecds_core::{candidates_bit_eq, CandidateEvaluator, ClassCandidate, EvaluatedCandidate};
+use ecds_sim::{CoreState, DirtyCores, ExecutingTask, QueuedTask, Scenario, SystemView};
 use ecds_workload::{Task, TaskId, TaskTypeId};
 
 /// System allocator wrapper that counts every allocation call.
@@ -112,4 +112,57 @@ fn warm_evaluate_all_allocates_only_the_result_vector() {
         "legacy pipeline should allocate at least once per candidate \
          ({candidates}), counted {legacy_during}"
     );
+
+    // --- Shard-index path: ZERO steady-state allocations. ---
+    //
+    // With an epoch-bump mailbox on the view, the evaluator maintains its
+    // (node, prefix-identity) shard index incrementally, and a caller-owned
+    // output buffer removes even the one allowed allocation above: a warm
+    // `evaluate_all_into` and a warm `evaluate_indexed_into` must both
+    // touch the allocator zero times.
+    let dirty = DirtyCores::default();
+    let sharded_view = SystemView::new(scenario.cluster(), scenario.table(), &cores, 50.0, 1, 60)
+        .with_dirty(&dirty);
+    let sharded = CandidateEvaluator::default();
+    assert!(sharded.has_shard_index());
+
+    let mut out: Vec<EvaluatedCandidate> = Vec::new();
+    // Warm-up: first call full-rebuilds the shard and grows every buffer;
+    // second call runs the incremental sweep and verifies the warm path.
+    sharded.evaluate_all_into(&sharded_view, &task, &mut out);
+    sharded.evaluate_all_into(&sharded_view, &task, &mut out);
+    assert!(candidates_bit_eq(&out, &reference));
+
+    let before = allocations();
+    sharded.evaluate_all_into(&sharded_view, &task, &mut out);
+    let during = allocations() - before;
+    assert!(candidates_bit_eq(&out, &reference));
+    assert_eq!(
+        during, 0,
+        "warm sharded evaluate_all_into with a caller-owned buffer must \
+         not allocate: the sweep walks the mailbox/expiry heap in place \
+         and estimates land in the reused class storage"
+    );
+
+    // The class-level API (what SQ/MECT/LL select from without
+    // materializing cores × P-states) is equally allocation-free warm.
+    let mut classes: Vec<ClassCandidate> = Vec::new();
+    assert!(sharded.evaluate_indexed_into(&sharded_view, &task, &mut classes));
+    let before = allocations();
+    assert!(sharded.evaluate_indexed_into(&sharded_view, &task, &mut classes));
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "warm evaluate_indexed_into must not allocate: class candidates \
+         land in the caller-owned buffer"
+    );
+    // The classes cover every core exactly once and carry the reference
+    // estimates bit-for-bit.
+    let total: usize = classes.iter().map(|c| c.members).sum();
+    assert_eq!(total, cores.len());
+    for class in &classes {
+        for (pi, est) in class.ests.iter().enumerate() {
+            assert!(est.bit_eq(&reference[class.min_core * 5 + pi].est));
+        }
+    }
 }

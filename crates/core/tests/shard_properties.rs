@@ -1,0 +1,252 @@
+//! Property tests of the persistent shard index: over *arbitrary mutation
+//! sequences* (starts, completions, queue pushes/pops, uneven time
+//! advances) driven through an epoch-bump mailbox, the incrementally
+//! maintained index must stay bit-identical to the full-scan reference —
+//! both the materialized candidate stream (`candidates_bit_eq`) and the
+//! index-selected top choice for every indexed heuristic (SQ, MECT, LL)
+//! under every filter variant.
+
+use ecds_cluster::{PState, NUM_PSTATES};
+use ecds_core::{
+    candidates_bit_eq, CandidateEvaluator, ClassCandidate, EnergyFilter, EvaluatedCandidate,
+    Filter, FilterCtx, Heuristic, LightestLoad, MinimumExpectedCompletionTime, RobustnessFilter,
+    ShortestQueue,
+};
+use ecds_sim::{CoreState, DirtyCores, ExecutingTask, QueuedTask, Scenario, SystemView};
+use ecds_workload::{Task, TaskId, TaskTypeId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::small_for_tests(31))
+}
+
+/// One mutation against one core. Ops that do not apply to the core's
+/// current state (completing an idle core, starting a busy one) degrade to
+/// the legal neighbour so every drawn sequence is executable.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start executing (or enqueue, if already busy).
+    Start { type_id: usize },
+    /// Enqueue behind the executing task.
+    Enqueue { type_id: usize, pstate: usize },
+    /// Complete the executing task, auto-starting the next queued one.
+    Complete,
+}
+
+fn arb_step() -> impl Strategy<Value = (Vec<(usize, Op)>, f64, usize)> {
+    let op =
+        (0usize..3, 0usize..10, 0usize..NUM_PSTATES).prop_map(
+            |(which, type_id, pstate)| match which {
+                0 => Op::Start { type_id },
+                1 => Op::Enqueue { type_id, pstate },
+                _ => Op::Complete,
+            },
+        );
+    (
+        prop::collection::vec((0usize..64, op), 0..6),
+        0.1f64..300.0,
+        // Extra unmutated core to over-mark (always legal).
+        0usize..64,
+    )
+}
+
+fn apply(core: &mut CoreState, op: &Op, id: usize, now: f64) {
+    match op {
+        Op::Start { type_id } => {
+            let exec = ExecutingTask {
+                task: TaskId(id),
+                type_id: TaskTypeId(*type_id),
+                pstate: PState::P1,
+                start: now,
+                deadline: now + 5_000.0,
+            };
+            if core.executing().is_none() {
+                core.start(exec);
+            } else {
+                core.enqueue(QueuedTask {
+                    task: exec.task,
+                    type_id: exec.type_id,
+                    pstate: PState::P2,
+                    deadline: exec.deadline,
+                });
+            }
+        }
+        Op::Enqueue { type_id, pstate } => {
+            if core.executing().is_some() {
+                core.enqueue(QueuedTask {
+                    task: TaskId(id),
+                    type_id: TaskTypeId(*type_id),
+                    pstate: PState::from_index(*pstate),
+                    deadline: now + 6_000.0,
+                });
+            }
+        }
+        Op::Complete => {
+            if core.executing().is_some() {
+                let (_, next) = core.complete();
+                if let Some(q) = next {
+                    core.start(ExecutingTask {
+                        task: q.task,
+                        type_id: q.type_id,
+                        pstate: q.pstate,
+                        start: now,
+                        deadline: q.deadline,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn probe_task(step: usize, deadline_slack: f64, now: f64) -> Task {
+    Task {
+        id: TaskId(10_000 + step),
+        type_id: TaskTypeId(step % 10),
+        arrival: now,
+        deadline: now + deadline_slack,
+        quantile: 0.5,
+    }
+}
+
+/// The full-scan selection: filters applied with [`Filter::retain`] on the
+/// materialized stream, then [`Heuristic::choose`].
+fn full_scan_choice(
+    h: &mut dyn Heuristic,
+    filters: &[&dyn Filter],
+    task: &Task,
+    view: &SystemView<'_>,
+    ctx: &FilterCtx,
+    all: &[EvaluatedCandidate],
+) -> Option<(usize, PState)> {
+    let mut cands = all.to_vec();
+    for f in filters {
+        f.retain(task, view, ctx, &mut cands);
+    }
+    h.choose(task, view, &cands)
+        .map(|i| (cands[i].core, cands[i].pstate))
+}
+
+/// The indexed selection: [`Filter::retain_indexed`] on the class form,
+/// then [`Heuristic::choose_indexed`], resolved to the class's minimum
+/// member core (the representative the full scan would pick).
+fn indexed_choice(
+    h: &mut dyn Heuristic,
+    filters: &[&dyn Filter],
+    task: &Task,
+    view: &SystemView<'_>,
+    ctx: &FilterCtx,
+    classes: &[ClassCandidate],
+) -> Option<(usize, PState)> {
+    let mut classes = classes.to_vec();
+    for f in filters {
+        f.retain_indexed(task, view, ctx, &mut classes);
+    }
+    h.choose_indexed(task, view, &classes)
+        .map(|(ci, ps)| (classes[ci].min_core, ps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary mutation sequences ⇒ at every step the shard-indexed
+    /// evaluator reproduces the full-scan reference bit-for-bit: the
+    /// materialized stream, the exact hit/miss/dedup counters, and the
+    /// top-k selection of every indexed heuristic under every filter
+    /// variant.
+    #[test]
+    fn indexed_top_k_matches_full_scan_over_arbitrary_mutations(
+        steps in prop::collection::vec(arb_step(), 1..8),
+        remaining_energy in 1.0f64..2_000.0,
+        deadline_slack in 100.0f64..4_000.0,
+    ) {
+        let s = scenario();
+        let n = s.cluster().total_cores();
+        let mut cores = vec![CoreState::new(); n];
+        let mut dirty = DirtyCores::default();
+        let mut now = 0.0f64;
+        let mut next_id = 0usize;
+
+        let sharded = CandidateEvaluator::default();
+        prop_assert!(sharded.has_shard_index());
+        let full = CandidateEvaluator::default().without_shard_index();
+
+        let mut out: Vec<EvaluatedCandidate> = Vec::new();
+        let mut classes: Vec<ClassCandidate> = Vec::new();
+
+        for (step, (ops, dt, extra_mark)) in steps.iter().enumerate() {
+            now += dt;
+            for (pick, op) in ops {
+                let core = pick % n;
+                apply(&mut cores[core], op, next_id, now);
+                next_id += 1;
+                dirty.mark(core);
+            }
+            // Over-marking an untouched core must be harmless.
+            dirty.mark(extra_mark % n);
+
+            let view = SystemView::new(s.cluster(), s.table(), &cores, now, 1, 60)
+                .with_dirty(&dirty);
+            let task = probe_task(step, deadline_slack, now);
+
+            // Materialized stream: bit-identical, and the per-call dedup
+            // counter deltas arithmetically exact (cumulative totals
+            // differ only because the sharded evaluator answers two
+            // queries per step here — the class/skip arithmetic per
+            // `evaluate_all` must match the reference exactly).
+            let s0 = sharded.dedup_stats().expect("dedup on");
+            let sk0 = sharded.dedup_skipped_evaluations();
+            sharded.evaluate_all_into(&view, &task, &mut out);
+            let s1 = sharded.dedup_stats().expect("dedup on");
+            let f0 = full.dedup_stats().expect("dedup on");
+            let fk0 = full.dedup_skipped_evaluations();
+            let reference = full.evaluate_all(&view, &task);
+            let f1 = full.dedup_stats().expect("dedup on");
+            prop_assert_eq!(out.len(), n * NUM_PSTATES);
+            prop_assert!(
+                candidates_bit_eq(&out, &reference),
+                "stream diverged at step {}", step
+            );
+            prop_assert_eq!(
+                (s1.0 - s0.0, s1.1 - s0.1),
+                (f1.0 - f0.0, f1.1 - f0.1),
+                "class counters diverged at step {}", step
+            );
+            prop_assert_eq!(
+                sharded.dedup_skipped_evaluations() - sk0,
+                full.dedup_skipped_evaluations() - fk0,
+                "skip counters diverged at step {}", step
+            );
+
+            // Indexed top-k: same choice as the full scan for every
+            // indexed heuristic × filter variant.
+            prop_assert!(sharded.evaluate_indexed_into(&view, &task, &mut classes));
+            let ctx = FilterCtx { remaining_energy, budget: 2_000.0 };
+            let en = EnergyFilter::paper();
+            let rob = RobustnessFilter::paper();
+            let variants: [&[&dyn Filter]; 3] =
+                [&[], &[&en], &[&en, &rob]];
+            let mut heuristics: [Box<dyn Heuristic>; 3] = [
+                Box::new(ShortestQueue),
+                Box::new(MinimumExpectedCompletionTime),
+                Box::new(LightestLoad),
+            ];
+            for h in heuristics.iter_mut() {
+                prop_assert!(h.supports_indexed());
+                for filters in variants {
+                    let want = full_scan_choice(
+                        h.as_mut(), filters, &task, &view, &ctx, &reference,
+                    );
+                    let got = indexed_choice(
+                        h.as_mut(), filters, &task, &view, &ctx, &classes,
+                    );
+                    prop_assert_eq!(
+                        got, want,
+                        "{} selection diverged at step {}", h.name(), step
+                    );
+                }
+            }
+        }
+    }
+}

@@ -62,3 +62,28 @@ impl CoreState {
         self.queued = queued;
     }
 }
+
+/// A shard index over (node, prefix-identity) equivalence classes like the
+/// evaluator's: membership is valid only for the epoch it was observed at,
+/// so any mutator that rewires a class chain without bumping leaves the
+/// index advertising stale classes — reads would then serve estimates for
+/// a partition the cores have already left.
+// lint: epoch-guarded
+pub struct ShardIndex {
+    class_of: Vec<u32>,
+    epoch: u64,
+}
+
+impl ShardIndex {
+    /// Bumps correctly: not flagged.
+    pub fn rebuild(&mut self, class_of: Vec<u32>) {
+        self.class_of = class_of;
+        self.epoch += 1;
+    }
+
+    /// VIOLATION: rekeys a core's class without the epoch bump — the
+    /// stale-index bug R1 exists to catch on the sharded decision path.
+    pub fn rekey(&mut self, core: usize, class: u32) {
+        self.class_of[core] = class;
+    }
+}

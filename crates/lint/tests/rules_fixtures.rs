@@ -35,10 +35,12 @@ fn r1_flags_missing_epoch_bumps() {
     let diags = check_fixture("r1_positive.rs", "crates/sim/src/fixture.rs");
     let r1 = lines_for(&diags, RuleId::EpochDiscipline);
     // `Ledger::clear` (marker-guarded), `Stamp::restamp` (marker-guarded
-    // fingerprint rewrite), `CoreState::enqueue` (guarded by name), and
+    // fingerprint rewrite), `CoreState::enqueue` (guarded by name),
     // `CoreState::restore_queue` (a checkpoint-restore path that forgets
-    // the epoch); `Ledger::push` bumps and must not appear.
-    assert_eq!(r1.len(), 4, "diagnostics: {diags:#?}");
+    // the epoch), and `ShardIndex::rekey` (a shard-index mutator that
+    // rewires class membership without the bump); `Ledger::push` and
+    // `ShardIndex::rebuild` bump and must not appear.
+    assert_eq!(r1.len(), 5, "diagnostics: {diags:#?}");
     let snippets: Vec<&str> = diags
         .iter()
         .filter(|d| d.rule == RuleId::EpochDiscipline)
@@ -48,6 +50,8 @@ fn r1_flags_missing_epoch_bumps() {
     assert!(snippets.iter().any(|s| s.contains("fn restamp")));
     assert!(snippets.iter().any(|s| s.contains("fn enqueue")));
     assert!(snippets.iter().any(|s| s.contains("fn restore_queue")));
+    assert!(snippets.iter().any(|s| s.contains("fn rekey")));
+    assert!(!snippets.iter().any(|s| s.contains("fn rebuild")));
 }
 
 #[test]

@@ -27,12 +27,13 @@ use ecds_pmf::Time;
 use ecds_workload::{ExecTable, Task, TaskId};
 
 use crate::config::SimConfig;
+use crate::dirty::DirtyCores;
 use crate::energy::EnergyAccountant;
 use crate::event::{EventKind, EventQueue};
 use crate::result::TaskOutcome;
 use crate::state::{CoreState, ExecutingTask, QueuedTask};
 use crate::store::TaskStore;
-use crate::telemetry::{MapperStats, Telemetry};
+use crate::telemetry::{MapperStats, Telemetry, TelemetryFold};
 use crate::view::{Mapper, SystemView};
 
 /// A commitment discipline: the pluggable half of the unified engine.
@@ -109,6 +110,20 @@ pub struct EngineCtx<'a> {
     pub(crate) telemetry: Telemetry,
     pub(crate) arrived: usize,
     pub(crate) now: Time,
+    /// Mailbox of recently mutated cores, consumed by shard-indexed
+    /// evaluators through [`SystemView::dirty_cores`]. Transient runtime
+    /// state — never checkpointed; a restored engine starts empty.
+    pub(crate) dirty: DirtyCores,
+    /// Running Σ `CoreState::depth()` over all cores — maintained by the
+    /// mutators below so [`EngineCtx::avg_queue_depth`] is O(1).
+    pub(crate) depth_total: usize,
+    /// Running count of non-idle cores — the telemetry busy-core sample.
+    pub(crate) busy: usize,
+    /// Streaming telemetry sink. When present, samples fold directly into
+    /// the accumulator instead of growing per-trial vectors (the bounded-
+    /// retention serve path); when absent, samples append to
+    /// [`Telemetry`] exactly as before.
+    pub(crate) fold: Option<TelemetryFold>,
 }
 
 impl<'a> EngineCtx<'a> {
@@ -124,6 +139,7 @@ impl<'a> EngineCtx<'a> {
         let mut ctx = Self::new_streaming(cluster, table, cfg);
         ctx.window = tasks.len();
         ctx.store = TaskStore::from_tasks(tasks);
+        ctx.queue.reserve(tasks.len());
         for task in tasks {
             ctx.queue.push(task.arrival, EventKind::Arrival(task.id));
         }
@@ -150,6 +166,10 @@ impl<'a> EngineCtx<'a> {
             telemetry: Telemetry::new(),
             arrived: 0,
             now: 0.0,
+            dirty: DirtyCores::default(),
+            depth_total: 0,
+            busy: 0,
+            fold: None,
         }
     }
 
@@ -222,14 +242,17 @@ impl<'a> EngineCtx<'a> {
     }
 
     /// Instantaneous average queue depth over all cores (executing tasks
-    /// count) — what immediate mode samples into telemetry.
+    /// count) — what immediate mode samples into telemetry. O(1): the
+    /// integer Σ depth is maintained incrementally by the mutators, and
+    /// the exact integer sum divides to the same bits as a fresh scan.
     pub fn avg_queue_depth(&self) -> f64 {
-        let total: usize = self.cores.iter().map(CoreState::depth).sum();
-        total as f64 / self.cores.len() as f64
+        self.depth_total as f64 / self.cores.len() as f64
     }
 
     /// A read-only [`SystemView`] of the current state, as handed to a
-    /// [`Mapper`] at a mapping event.
+    /// [`Mapper`] at a mapping event. Carries the dirty-core mailbox and
+    /// the running depth aggregate so shard-indexed consumers stay
+    /// incremental.
     pub fn system_view(&self) -> SystemView<'_> {
         SystemView::new(
             self.cluster,
@@ -239,15 +262,21 @@ impl<'a> EngineCtx<'a> {
             self.arrived,
             self.window,
         )
+        .with_dirty(&self.dirty)
+        .with_depth_total(self.depth_total)
     }
 
     /// Records one telemetry sample at the current time: `queue_depth` is
     /// discipline-defined (FIFO depth in immediate mode, normalized bag
-    /// depth in batch mode); the busy-core count is taken from the core
-    /// states.
+    /// depth in batch mode); the busy-core count comes from the running
+    /// aggregate. Routed to the streaming fold when one is installed
+    /// (bounded retention), to the per-trial vectors otherwise.
     pub fn sample_telemetry(&mut self, queue_depth: f64) {
-        let busy = self.cores.iter().filter(|c| !c.is_idle()).count();
-        self.telemetry.sample(self.now, queue_depth, busy);
+        let busy = self.busy;
+        match &mut self.fold {
+            Some(fold) => fold.record(queue_depth, busy),
+            None => self.telemetry.sample(self.now, queue_depth, busy),
+        }
     }
 
     /// Records the chosen `(core, pstate)` assignment for `task`.
@@ -274,6 +303,9 @@ impl<'a> EngineCtx<'a> {
     pub fn start_task(&mut self, core: usize, task: TaskId, pstate: ecds_cluster::PState) {
         let task_data = *self.store.task(task);
         self.accountant.record(core, self.now, pstate);
+        self.dirty.mark(core);
+        self.depth_total += 1;
+        self.busy += 1;
         self.cores[core].start(ExecutingTask {
             task,
             type_id: task_data.type_id,
@@ -294,6 +326,8 @@ impl<'a> EngineCtx<'a> {
     /// commit-at-arrival for busy cores).
     pub fn enqueue_task(&mut self, core: usize, task: TaskId, pstate: ecds_cluster::PState) {
         let task_data = *self.store.task(task);
+        self.dirty.mark(core);
+        self.depth_total += 1;
         self.cores[core].enqueue(QueuedTask {
             task,
             type_id: task_data.type_id,
@@ -310,13 +344,24 @@ impl<'a> EngineCtx<'a> {
     /// Panics when nothing is executing on the core.
     pub fn complete_core(&mut self, core: usize) -> Option<QueuedTask> {
         let (_done, next) = self.cores[core].complete();
+        self.dirty.mark(core);
+        self.busy -= 1;
+        // The finished executing task leaves the depth count, and so does
+        // the queued task `complete` popped out of the FIFO, if any (the
+        // discipline re-adds it when it starts the task).
+        self.depth_total -= 1 + usize::from(next.is_some());
         next
     }
 
     /// Pops the next waiting task off `core`'s FIFO without starting it —
     /// the cancel-overdue path.
     pub fn pop_queued(&mut self, core: usize) -> Option<QueuedTask> {
-        self.cores[core].pop_queued()
+        let popped = self.cores[core].pop_queued();
+        if popped.is_some() {
+            self.dirty.mark(core);
+            self.depth_total -= 1;
+        }
+        popped
     }
 
     /// Marks `task` as cancelled (the `cancel_overdue` extension dropped

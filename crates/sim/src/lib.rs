@@ -55,6 +55,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod dirty;
 pub mod discipline;
 pub mod energy;
 pub mod engine;
@@ -70,6 +71,7 @@ pub mod telemetry;
 pub mod view;
 
 pub use config::SimConfig;
+pub use dirty::{DirtyCores, DEFAULT_DIRTY_LIMIT};
 pub use discipline::{Discipline, EngineCtx, ImmediateDiscipline};
 pub use energy::{EnergyAccountant, TransitionLog};
 pub use engine::Simulation;

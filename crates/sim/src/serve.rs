@@ -119,37 +119,7 @@ impl ServeConfig {
     }
 }
 
-/// Windowed telemetry: the running reduction of flushed samples.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct TelemetryFold {
-    /// Samples folded so far.
-    pub samples: u64,
-    /// Sum of folded average queue depths.
-    pub sum_queue_depth: f64,
-    /// Peak folded average queue depth.
-    pub peak_queue_depth: f64,
-    /// Maximum folded busy-core count.
-    pub max_busy: u64,
-}
-
-impl TelemetryFold {
-    /// Drains a telemetry buffer into the fold.
-    fn absorb(&mut self, telemetry: &mut crate::telemetry::Telemetry) {
-        for (_, depth) in telemetry.queue_depth.drain(..) {
-            self.samples += 1;
-            self.sum_queue_depth += depth;
-            self.peak_queue_depth = self.peak_queue_depth.max(depth);
-        }
-        for (_, busy) in telemetry.busy_cores.drain(..) {
-            self.max_busy = self.max_busy.max(busy as u64);
-        }
-    }
-
-    /// Mean folded queue depth, or `None` before the first sample.
-    pub fn mean_queue_depth(&self) -> Option<f64> {
-        (self.samples > 0).then(|| self.sum_queue_depth / self.samples as f64)
-    }
-}
+pub use crate::telemetry::TelemetryFold;
 
 /// The summary a bounded-retention session reports instead of a
 /// per-task [`TrialResult`].
@@ -184,7 +154,6 @@ pub struct ServeSession<'a> {
     arrivals_pulled: u64,
     done_pulling: bool,
     tally: RetiredTally,
-    fold: TelemetryFold,
 }
 
 impl<'a> ServeSession<'a> {
@@ -216,6 +185,11 @@ impl<'a> ServeSession<'a> {
             Horizon::Fixed(n) => n as usize,
             Horizon::Rolling { lookahead } => lookahead as usize,
         };
+        if matches!(serve_cfg.retention, Retention::Bounded { .. }) {
+            // Stream samples straight into the fold: the per-trial
+            // telemetry vectors stay empty for the whole session.
+            ctx.fold = Some(TelemetryFold::default());
+        }
         let mut session = Self {
             ctx,
             serve_cfg,
@@ -224,7 +198,6 @@ impl<'a> ServeSession<'a> {
             arrivals_pulled: 0,
             done_pulling: false,
             tally: RetiredTally::default(),
-            fold: TelemetryFold::default(),
         };
         session.pull_next(source);
         discipline.on_trial_start(&mut session.ctx);
@@ -328,8 +301,13 @@ impl<'a> ServeSession<'a> {
         self.ctx
             .store
             .retire_settled(self.ctx.arrived, holds_unassigned, &mut self.tally);
-        self.fold.absorb(&mut self.ctx.telemetry);
-        self.ctx.accountant.compact(self.ctx.cluster);
+        // Samples stream directly into the fold nowadays; absorbing here
+        // only drains whatever a non-folding path buffered.
+        let ctx = &mut self.ctx;
+        if let Some(fold) = &mut ctx.fold {
+            fold.absorb(&mut ctx.telemetry);
+        }
+        ctx.accountant.compact(ctx.cluster);
     }
 
     /// Current simulated time.
@@ -397,9 +375,18 @@ impl<'a> ServeSession<'a> {
         self.retire_and_flush(discipline.holds_unassigned_tasks());
         self.ctx.accountant.finalize(self.end_time);
         let total_energy = self.ctx.accountant.total_energy(self.ctx.cluster);
+        let fold = match self.ctx.fold {
+            Some(fold) => fold,
+            // Full retention buffered every sample; fold them now.
+            None => {
+                let mut fold = TelemetryFold::default();
+                fold.absorb(&mut self.ctx.telemetry);
+                fold
+            }
+        };
         ServeSummary {
             tally: self.tally,
-            fold: self.fold,
+            fold,
             total_energy,
             makespan: self.end_time,
             events: self.events_processed,
@@ -432,10 +419,11 @@ impl<'a> ServeSession<'a> {
         enc.put_u64(self.tally.on_time);
         enc.put_u64(self.tally.cancelled);
         enc.put_u64(self.tally.discarded);
-        enc.put_u64(self.fold.samples);
-        enc.put_f64(self.fold.sum_queue_depth);
-        enc.put_f64(self.fold.peak_queue_depth);
-        enc.put_u64(self.fold.max_busy);
+        let fold = self.ctx.fold.unwrap_or_default();
+        enc.put_u64(fold.samples);
+        enc.put_f64(fold.sum_queue_depth);
+        enc.put_f64(fold.peak_queue_depth);
+        enc.put_u64(fold.max_busy);
         // Windowed store.
         enc.put_u64(self.ctx.store.base() as u64);
         enc.put_u64(self.ctx.store.resident() as u64);
@@ -644,6 +632,11 @@ impl<'a> ServeSession<'a> {
             power: Vec::new(),
             mapper: crate::telemetry::MapperStats::default(),
         };
+        // Derived engine state is rebuilt, not decoded: the load
+        // aggregates come from one scan of the restored cores, and the
+        // dirty-core mailbox restarts empty (consumers full-scan once).
+        let depth_total = cores.iter().map(CoreState::depth).sum();
+        let busy = cores.iter().filter(|c| !c.is_idle()).count();
         let ctx = EngineCtx {
             cluster,
             table,
@@ -656,6 +649,13 @@ impl<'a> ServeSession<'a> {
             telemetry,
             arrived,
             now,
+            dirty: crate::dirty::DirtyCores::default(),
+            depth_total,
+            busy,
+            fold: match serve_cfg.retention {
+                Retention::Bounded { .. } => Some(fold),
+                Retention::Full => None,
+            },
         };
         Ok(Self {
             ctx,
@@ -665,7 +665,6 @@ impl<'a> ServeSession<'a> {
             arrivals_pulled,
             done_pulling,
             tally,
-            fold,
         })
     }
 }

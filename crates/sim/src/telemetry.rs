@@ -69,6 +69,54 @@ impl MapperStats {
     }
 }
 
+/// Windowed telemetry: the running reduction of streamed samples.
+///
+/// The bounded-retention serve path records every sample straight into
+/// this accumulator ([`TelemetryFold::record`]) instead of growing the
+/// per-trial [`Telemetry`] vectors; the classic path still buffers and
+/// [`TelemetryFold::absorb`]s at the end. Both routes perform the same
+/// f64 operations in the same per-sample order, so the folded values are
+/// bit-identical whichever way the samples travel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TelemetryFold {
+    /// Samples folded so far.
+    pub samples: u64,
+    /// Sum of folded average queue depths.
+    pub sum_queue_depth: f64,
+    /// Peak folded average queue depth.
+    pub peak_queue_depth: f64,
+    /// Maximum folded busy-core count.
+    pub max_busy: u64,
+}
+
+impl TelemetryFold {
+    /// Folds one sample directly — the streaming serve path, bypassing
+    /// the per-trial vectors entirely.
+    pub fn record(&mut self, depth: f64, busy: usize) {
+        self.samples += 1;
+        self.sum_queue_depth += depth;
+        self.peak_queue_depth = self.peak_queue_depth.max(depth);
+        self.max_busy = self.max_busy.max(busy as u64);
+    }
+
+    /// Drains a telemetry buffer into the fold.
+    pub fn absorb(&mut self, telemetry: &mut Telemetry) {
+        for (_, depth) in telemetry.queue_depth.drain(..) {
+            self.samples += 1;
+            self.sum_queue_depth += depth;
+            self.peak_queue_depth = self.peak_queue_depth.max(depth);
+        }
+        for (_, busy) in telemetry.busy_cores.drain(..) {
+            self.max_busy = self.max_busy.max(busy as u64);
+        }
+    }
+
+    /// Mean folded queue depth, or `None` before the first sample.
+    pub fn mean_queue_depth(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.sum_queue_depth / self.samples as f64)
+    }
+}
+
 /// Time series captured during one trial.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Telemetry {
@@ -242,5 +290,30 @@ mod tests {
     fn single_sample_fills_all_buckets() {
         let out = Telemetry::resample(&[(5.0, 7.0)], 3);
         assert_eq!(out, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn streamed_record_matches_buffered_absorb_bitwise() {
+        let samples = [(0.5, 2usize), (1.75, 3), (0.25, 1), (3.5, 3)];
+        let mut streamed = TelemetryFold::default();
+        let mut telemetry = Telemetry::new();
+        for (i, &(depth, busy)) in samples.iter().enumerate() {
+            streamed.record(depth, busy);
+            telemetry.sample(i as f64, depth, busy);
+        }
+        let mut buffered = TelemetryFold::default();
+        buffered.absorb(&mut telemetry);
+        assert_eq!(streamed.samples, buffered.samples);
+        assert_eq!(
+            streamed.sum_queue_depth.to_bits(),
+            buffered.sum_queue_depth.to_bits()
+        );
+        assert_eq!(
+            streamed.peak_queue_depth.to_bits(),
+            buffered.peak_queue_depth.to_bits()
+        );
+        assert_eq!(streamed.max_busy, buffered.max_busy);
+        assert!(telemetry.queue_depth.is_empty() && telemetry.busy_cores.is_empty());
+        assert_eq!(streamed.mean_queue_depth(), buffered.mean_queue_depth());
     }
 }

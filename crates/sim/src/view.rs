@@ -6,6 +6,7 @@ use ecds_persist::{DecodeError, Decoder, Encoder};
 use ecds_pmf::Time;
 use ecds_workload::{ExecTable, Task};
 
+use crate::dirty::DirtyCores;
 use crate::state::CoreState;
 use crate::telemetry::MapperStats;
 
@@ -72,6 +73,14 @@ pub struct SystemView<'a> {
     time: Time,
     arrived: usize,
     window: usize,
+    /// Incremental-invalidation feed for shard-indexed evaluators; absent
+    /// on hand-built views, which forces consumers onto the full-scan
+    /// (always-correct) path.
+    dirty: Option<&'a DirtyCores>,
+    /// Engine-maintained Σ queue depth over all cores; absent on
+    /// hand-built views, where [`SystemView::avg_queue_depth`] sums
+    /// directly.
+    depth_total: Option<usize>,
 }
 
 impl<'a> SystemView<'a> {
@@ -98,7 +107,32 @@ impl<'a> SystemView<'a> {
             time,
             arrived,
             window,
+            dirty: None,
+            depth_total: None,
         }
+    }
+
+    /// Attaches the engine's dirty-core mailbox, enabling incremental
+    /// shard-index maintenance in consumers.
+    pub fn with_dirty(mut self, dirty: &'a DirtyCores) -> Self {
+        self.dirty = Some(dirty);
+        self
+    }
+
+    /// Attaches the engine's running Σ queue depth, making
+    /// [`SystemView::avg_queue_depth`] O(1). The caller guarantees
+    /// `depth_total` equals the sum of all cores' depths; both are exact
+    /// integers, so the O(1) average is bit-identical to the summed one.
+    pub fn with_depth_total(mut self, depth_total: usize) -> Self {
+        self.depth_total = Some(depth_total);
+        self
+    }
+
+    /// The engine's dirty-core mailbox, when this view was built by an
+    /// engine that maintains one.
+    #[inline]
+    pub fn dirty_cores(&self) -> Option<&'a DirtyCores> {
+        self.dirty
     }
 
     /// The cluster model.
@@ -168,9 +202,14 @@ impl<'a> SystemView<'a> {
     }
 
     /// Instantaneous average queue depth over all cores — the quantity the
-    /// energy filter's ζ_mul adapts on (Sec. V-F).
+    /// energy filter's ζ_mul adapts on (Sec. V-F). O(1) when the engine
+    /// attached its depth aggregate, O(cores) otherwise; both compute the
+    /// same exact integer sum, so the result is bit-identical.
     pub fn avg_queue_depth(&self) -> f64 {
-        let total: usize = self.cores.iter().map(CoreState::depth).sum();
+        let total: usize = match self.depth_total {
+            Some(total) => total,
+            None => self.cores.iter().map(CoreState::depth).sum(),
+        };
         total as f64 / self.cores.len() as f64
     }
 }
@@ -265,6 +304,36 @@ mod tests {
         assert_eq!(view.window(), 10);
         assert_eq!(view.core_states().len(), cluster.total_cores());
         assert!(view.core_state(0).is_idle());
+    }
+
+    #[test]
+    fn depth_aggregate_matches_the_summed_average_bitwise() {
+        let (cluster, table) = fixtures();
+        let mut cores = vec![CoreState::new(); cluster.total_cores()];
+        for i in 0..3 {
+            cores[0].enqueue(QueuedTask {
+                task: TaskId(i),
+                type_id: TaskTypeId(0),
+                pstate: PState::P0,
+                deadline: 50.0,
+            });
+        }
+        let summed = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10).avg_queue_depth();
+        let aggregated = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10)
+            .with_depth_total(3)
+            .avg_queue_depth();
+        assert_eq!(summed.to_bits(), aggregated.to_bits());
+    }
+
+    #[test]
+    fn dirty_mailbox_is_absent_unless_attached() {
+        let (cluster, table) = fixtures();
+        let cores = vec![CoreState::new(); cluster.total_cores()];
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10);
+        assert!(view.dirty_cores().is_none());
+        let dirty = DirtyCores::default();
+        let view = SystemView::new(&cluster, &table, &cores, 0.0, 1, 10).with_dirty(&dirty);
+        assert!(view.dirty_cores().is_some());
     }
 
     #[test]

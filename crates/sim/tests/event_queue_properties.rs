@@ -122,3 +122,83 @@ proptest! {
         prop_assert!(q.is_empty());
     }
 }
+
+/// Satellite pin for checkpointing at depth: a 10⁵-event queue snapshots
+/// into exactly one right-sized vector (no heap clone, no pop loop, no
+/// over-allocation), its encoded checkpoint section is the tight linear
+/// size the serve codec implies (33 bytes per event + two `u64` headers),
+/// and `from_parts` rebuilds a queue that pops bit-identically.
+#[test]
+fn depth_1e5_snapshot_is_right_sized_and_roundtrips() {
+    const DEPTH: usize = 100_000;
+    let mut q = EventQueue::with_capacity(DEPTH);
+    // Deterministic pseudo-shuffled times with plenty of exact ties, both
+    // event kinds interleaved.
+    for i in 0..DEPTH {
+        let time = ((i * 7919) % 1013) as f64 * 0.5;
+        let kind = if i % 3 == 0 {
+            EventKind::Completion {
+                core: i % 97,
+                task: TaskId(i),
+            }
+        } else {
+            EventKind::Arrival(TaskId(i))
+        };
+        q.push(time, kind);
+    }
+
+    let snap = q.snapshot();
+    assert_eq!(snap.len(), DEPTH);
+    assert_eq!(
+        snap.capacity(),
+        DEPTH,
+        "snapshot must allocate exactly one len-sized vector"
+    );
+
+    // Snapshot is already in pop order: (time, rank, seq) non-decreasing.
+    for w in snap.windows(2) {
+        let key = |e: &(f64, EventKind, u64)| (e.0, rank(&e.1), e.2);
+        assert!(key(&w[0]) <= key(&w[1]), "snapshot not in pop order");
+    }
+
+    // Encoded exactly as the serve checkpoint does: next_seq + len headers,
+    // then per event f64 time (8) + kind tag (1) + two u64 payload words
+    // (16) + u64 seq (8).
+    let mut enc = ecds_persist::Encoder::new();
+    enc.put_u64(q.next_seq());
+    enc.put_u64(snap.len() as u64);
+    for &(time, kind, seq) in &snap {
+        enc.put_f64(time);
+        match kind {
+            EventKind::Arrival(task) => {
+                enc.put_u8(0);
+                enc.put_u64(task.0 as u64);
+                enc.put_u64(0);
+            }
+            EventKind::Completion { core, task } => {
+                enc.put_u8(1);
+                enc.put_u64(core as u64);
+                enc.put_u64(task.0 as u64);
+            }
+        }
+        enc.put_u64(seq);
+    }
+    assert_eq!(
+        enc.as_slice().len(),
+        16 + DEPTH * 33,
+        "queue checkpoint section must stay tightly linear in depth"
+    );
+
+    let mut rebuilt = EventQueue::from_parts(q.next_seq(), snap);
+    assert_eq!(rebuilt.next_seq(), q.next_seq());
+    loop {
+        match (q.pop(), rebuilt.pop()) {
+            (None, None) => break,
+            (Some(a), Some(b)) => {
+                assert_eq!(a.time.to_bits(), b.time.to_bits());
+                assert_eq!(a.kind, b.kind);
+            }
+            _ => panic!("queues drained at different depths"),
+        }
+    }
+}

@@ -53,6 +53,10 @@ pub const LAMBDA_SLOW: f64 = 1.0 / 48.0;
 /// The paper's equilibrium rate, `λ_eq = 1/28` (defined for context; the
 /// generated pattern uses only fast and slow).
 pub const LAMBDA_EQ: f64 = 1.0 / 28.0;
+/// Core count of the paper's reference cluster (8 nodes × expected 2.5
+/// processors × 2.5 cores ≈ 48, matching the λ_eq derivation in Sec. VI) —
+/// the denominator of [`BurstPattern::scaled_to_cluster`]'s rate scaling.
+pub const PAPER_REFERENCE_CORES: usize = 48;
 
 impl BurstPattern {
     /// Builds a pattern from phases (at least one).
@@ -94,6 +98,20 @@ impl BurstPattern {
     /// A single-phase constant-rate pattern.
     pub fn constant(count: usize, rate: f64) -> Self {
         Self::new(vec![ArrivalPhase::new(count, rate)])
+    }
+
+    /// The paper's burst/lull/burst pattern over `window` tasks with rates
+    /// scaled so a cluster of `total_cores` cores sees the paper's
+    /// *subscription level*. The paper's λ_fast = 1/8 and λ_slow = 1/48
+    /// oversubscribe and undersubscribe its ~48-core reference cluster; a
+    /// 40,000-core cluster at those absolute rates would idle, so the
+    /// high-rate source multiplies both rates by
+    /// `total_cores / PAPER_REFERENCE_CORES`. This is the λ-scaling knob
+    /// of the mega-scale study.
+    pub fn scaled_to_cluster(window: usize, total_cores: usize) -> Self {
+        assert!(total_cores >= 1, "need at least one core");
+        let factor = total_cores as f64 / PAPER_REFERENCE_CORES as f64;
+        Self::scaled_with_rates(window, LAMBDA_FAST * factor, LAMBDA_SLOW * factor)
     }
 
     /// The phases.
@@ -200,6 +218,20 @@ mod tests {
         assert_eq!(p.phases()[0].count, 20);
         assert_eq!(p.phases()[1].count, 60);
         assert_eq!(p.phases()[2].count, 20);
+    }
+
+    #[test]
+    fn cluster_scaled_rates_track_core_count() {
+        let p = BurstPattern::scaled_to_cluster(1_000, 4_800);
+        // 100× the paper's reference cores ⇒ 100× both rates.
+        assert!((p.phases()[0].rate - LAMBDA_FAST * 100.0).abs() < 1e-12);
+        assert!((p.phases()[1].rate - LAMBDA_SLOW * 100.0).abs() < 1e-12);
+        assert_eq!(p.total_tasks(), 1_000);
+        // At the reference size the pattern is exactly the scaled paper one.
+        assert_eq!(
+            BurstPattern::scaled_to_cluster(1_000, PAPER_REFERENCE_CORES),
+            BurstPattern::scaled(1_000)
+        );
     }
 
     #[test]

@@ -17,19 +17,31 @@ use crate::task::TaskTypeId;
 
 /// Immutable per-scenario table of execution-time pmfs and cached
 /// expectations.
+///
+/// Pmfs are stored once per *node template* (see
+/// [`Cluster::with_templates`]): nodes stamped from the same template have
+/// identical specs, hence identical execution-time distributions, so a
+/// 10⁴-node templated cluster stores as few pmfs as its template count.
+/// For clusters built with [`Cluster::new`] every node is its own template
+/// and the layout (and every byte of every pmf) is exactly what the
+/// per-node storage produced.
 #[derive(Debug, Clone)]
 pub struct ExecTable {
     num_types: usize,
     num_nodes: usize,
-    /// `[type * num_nodes + node]` → per-P-state pmfs.
+    num_templates: usize,
+    /// Node → template, copied from the cluster at build time.
+    node_template: Vec<u32>,
+    /// `[type * num_templates + template]` → per-P-state pmfs.
     pmfs: Vec<[Pmf; NUM_PSTATES]>,
     /// Cached expectations, same layout.
     eets: Vec<[Time; NUM_PSTATES]>,
-    /// Cached per-type average execution time over all nodes and P-states
-    /// (the deadline formula's per-type term).
+    /// Cached per-type average execution time over all templates and
+    /// P-states (the deadline formula's per-type term; identical to the
+    /// per-node average for identity-template clusters).
     type_avgs: Vec<Time>,
-    /// `t_avg`: grand average over types, nodes, and P-states (the deadline
-    /// load factor and the energy-budget time scale).
+    /// `t_avg`: grand average over types, templates, and P-states (the
+    /// deadline load factor and the energy-budget time scale).
     t_avg: Time,
 }
 
@@ -40,7 +52,7 @@ impl ExecTable {
         cfg.validate();
         let etc = EtcMatrix::generate_cvb(
             cfg.num_types,
-            cluster.num_nodes(),
+            cluster.num_templates(),
             cfg.mu_task,
             cfg.v_task,
             cfg.v_mach,
@@ -50,7 +62,8 @@ impl ExecTable {
     }
 
     /// Builds the table from an explicit mean matrix (tests, custom
-    /// scenarios).
+    /// scenarios). The matrix carries one column per node *template* —
+    /// which is one column per node for identity-template clusters.
     pub fn from_etc(
         cfg: &WorkloadConfig,
         cluster: &Cluster,
@@ -59,20 +72,27 @@ impl ExecTable {
     ) -> Self {
         assert_eq!(
             etc.num_nodes(),
-            cluster.num_nodes(),
-            "ETC matrix and cluster disagree on node count"
+            cluster.num_templates(),
+            "ETC matrix and cluster disagree on node count (one column per node template)"
         );
         let num_types = etc.num_types();
-        let num_nodes = etc.num_nodes();
-        let mut pmfs = Vec::with_capacity(num_types * num_nodes);
-        let mut eets = Vec::with_capacity(num_types * num_nodes);
+        let num_templates = cluster.num_templates();
+        // Representative node per template: any node works because
+        // `Cluster::with_templates` asserts spec equality within a
+        // template. Under identity templates this is node `tpl` itself.
+        let mut rep = vec![usize::MAX; num_templates];
+        for n in (0..cluster.num_nodes()).rev() {
+            rep[cluster.template_of(n)] = n;
+        }
+        let mut pmfs = Vec::with_capacity(num_types * num_templates);
+        let mut eets = Vec::with_capacity(num_types * num_templates);
         for t in 0..num_types {
-            for n in 0..num_nodes {
-                let mean = etc.mean(TaskTypeId(t), n);
+            for (tpl, &rep_node) in rep.iter().enumerate() {
+                let mean = etc.mean(TaskTypeId(t), tpl);
                 let gamma = Gamma::from_mean_cv(mean, cfg.pmf_cv);
-                let mut rng = seeds.rng(Stream::ExecPmf, t as u64, n as u64);
+                let mut rng = seeds.rng(Stream::ExecPmf, t as u64, tpl as u64);
                 let base = empirical_pmf(&mut rng, cfg.pmf_sampling, |r| gamma.sample(r));
-                let node = cluster.node(n);
+                let node = cluster.node(rep_node);
                 let per_state: [Pmf; NUM_PSTATES] = std::array::from_fn(|s| {
                     let state = PState::from_index(s);
                     let mult = node.exec_time_multiplier(state);
@@ -90,16 +110,18 @@ impl ExecTable {
         }
         let type_avgs: Vec<Time> = (0..num_types)
             .map(|t| {
-                let sum: f64 = (0..num_nodes)
-                    .map(|n| eets[t * num_nodes + n].iter().sum::<f64>())
+                let sum: f64 = (0..num_templates)
+                    .map(|tpl| eets[t * num_templates + tpl].iter().sum::<f64>())
                     .sum();
-                sum / (num_nodes * NUM_PSTATES) as f64
+                sum / (num_templates * NUM_PSTATES) as f64
             })
             .collect();
         let t_avg = type_avgs.iter().sum::<f64>() / num_types as f64;
         Self {
             num_types,
-            num_nodes,
+            num_nodes: cluster.num_nodes(),
+            num_templates,
+            node_template: cluster.templates().to_vec(),
             pmfs,
             eets,
             type_avgs,
@@ -119,17 +141,32 @@ impl ExecTable {
         self.num_nodes
     }
 
+    /// Number of node templates backing the pmf storage.
+    #[inline]
+    pub fn num_templates(&self) -> usize {
+        self.num_templates
+    }
+
+    /// Template id of `node` — the pmf-storage key; nodes sharing it have
+    /// bit-identical tables.
+    #[inline]
+    pub fn template_of(&self, node: usize) -> usize {
+        self.node_template[node] as usize
+    }
+
     /// Execution-time pmf of `task_type` on one core of `node` in `state`.
     #[inline]
     pub fn pmf(&self, task_type: TaskTypeId, node: usize, state: PState) -> &Pmf {
-        &self.pmfs[task_type.0 * self.num_nodes + node][state.index()]
+        let tpl = self.node_template[node] as usize;
+        &self.pmfs[task_type.0 * self.num_templates + tpl][state.index()]
     }
 
     /// Expected execution time — the heuristics' `EET(i, j, k, π, z)`
     /// (cores within a node are identical, so only the node matters).
     #[inline]
     pub fn eet(&self, task_type: TaskTypeId, node: usize, state: PState) -> Time {
-        self.eets[task_type.0 * self.num_nodes + node][state.index()]
+        let tpl = self.node_template[node] as usize;
+        self.eets[task_type.0 * self.num_templates + tpl][state.index()]
     }
 
     /// Per-type average execution time over all nodes and P-states (the
@@ -291,5 +328,38 @@ mod tests {
         let cfg = WorkloadConfig::small_for_tests();
         let etc = EtcMatrix::from_means(1, 1, vec![100.0]);
         let _ = ExecTable::from_etc(&cfg, &cluster, &etc, &seeds);
+    }
+
+    #[test]
+    fn templated_nodes_share_pmf_storage() {
+        let seeds = SeedDerive::new(11);
+        let cluster = generate_cluster(&ClusterGenConfig::scaled(64, 4), &seeds);
+        let cfg = WorkloadConfig::small_for_tests();
+        let t = ExecTable::generate(&cfg, &cluster, &seeds);
+        assert_eq!(t.num_templates(), 4);
+        assert_eq!(t.num_nodes(), 64);
+        let ty = TaskTypeId(2);
+        for n in 0..cluster.num_nodes() {
+            let tpl = t.template_of(n);
+            assert_eq!(tpl, cluster.template_of(n));
+            // Same template ⇒ the very same pmf allocation, not a copy.
+            assert!(std::ptr::eq(
+                t.pmf(ty, n, PState::P2),
+                t.pmf(ty, tpl, PState::P2)
+            ));
+            assert_eq!(
+                t.eet(ty, n, PState::P3).to_bits(),
+                t.eet(ty, tpl, PState::P3).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn identity_cluster_keeps_one_template_per_node() {
+        let (t, cluster) = table();
+        assert_eq!(t.num_templates(), cluster.num_nodes());
+        for n in 0..cluster.num_nodes() {
+            assert_eq!(t.template_of(n), n);
+        }
     }
 }

@@ -42,7 +42,7 @@ pub mod source;
 pub mod task;
 pub mod trace;
 
-pub use arrivals::{ArrivalPhase, BurstPattern};
+pub use arrivals::{ArrivalPhase, BurstPattern, PAPER_REFERENCE_CORES};
 pub use config::WorkloadConfig;
 pub use etc::EtcMatrix;
 pub use exec_table::ExecTable;

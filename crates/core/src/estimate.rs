@@ -758,6 +758,7 @@ impl CandidateEvaluator {
     /// `out` is cleared and refilled, retaining its capacity — the
     /// steady-state serve path reuses one buffer across every mapping
     /// event instead of allocating a fresh candidate vector per arrival.
+    // lint: alloc-free
     pub fn evaluate_all_into(
         &self,
         view: &SystemView<'_>,
@@ -1059,6 +1060,7 @@ impl CandidateEvaluator {
     /// depends on the engine reporting epoch bumps); callers fall back to
     /// [`CandidateEvaluator::evaluate_all_into`]. Cache and dedup counters
     /// advance exactly as a full-scan `evaluate_all` would.
+    // lint: alloc-free
     pub fn evaluate_indexed_into(
         &self,
         view: &SystemView<'_>,

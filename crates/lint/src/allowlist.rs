@@ -4,9 +4,14 @@
 //! The file is an array of `[[allow]]` tables. Every entry must name the
 //! rule, the exact workspace-relative file, a `pattern` substring that
 //! must appear on the flagged source line, and a non-empty `reason` the
-//! lint prints with the site. An entry that matches no current diagnostic
+//! lint prints with the site; an optional bare-integer `line` pins the
+//! entry to one source line. An entry that matches no current diagnostic
 //! is **stale** and fails the run: allowlists must shrink with the code
-//! they excuse, never outlive it.
+//! they excuse, never outlive it. An entry that matches *more than one*
+//! diagnostic is **ambiguous** and also fails the run: every audit
+//! rationale must be anchored to exactly the site it audited, or a new
+//! violation sharing the pattern would be silently excused by an old
+//! reason (add `line = N` or a longer pattern to disambiguate).
 //!
 //! The parser is a deliberately small TOML subset (the workspace vendors
 //! no `toml` crate): `[[allow]]` headers, `key = "value"` pairs with
@@ -25,6 +30,9 @@ pub struct AllowEntry {
     pub file: String,
     /// Substring that must occur on the flagged source line.
     pub pattern: String,
+    /// Optional 1-based source line pin, for disambiguating entries
+    /// whose pattern matches several diagnostics in one file.
+    pub line: Option<usize>,
     /// Why the site is sound. Printed with the diagnostic.
     pub reason: String,
     /// 1-based line in `lint.toml` where the entry starts (for errors).
@@ -34,8 +42,22 @@ pub struct AllowEntry {
 impl AllowEntry {
     /// Whether this entry covers the diagnostic.
     pub fn matches(&self, d: &Diagnostic) -> bool {
-        self.rule == d.rule && self.file == d.file && d.snippet.contains(&self.pattern)
+        self.rule == d.rule
+            && self.file == d.file
+            && self.line.is_none_or(|l| l == d.line)
+            && d.snippet.contains(&self.pattern)
     }
+}
+
+/// What applying an allowlist found wrong with the allowlist itself.
+#[derive(Debug, Default)]
+pub struct ApplyOutcome {
+    /// Entries that matched no diagnostic (the code they excused is
+    /// gone — delete them).
+    pub stale: Vec<AllowEntry>,
+    /// Entries that matched more than one diagnostic, with the match
+    /// count (anchor them with `line = N` or a longer pattern).
+    pub ambiguous: Vec<(AllowEntry, usize)>,
 }
 
 /// The parsed allowlist.
@@ -69,6 +91,22 @@ impl Allowlist {
                     "lint.toml:{lineno}: unknown table `{line}` (only [[allow]] is supported)"
                 ));
             }
+            // `line = N` is the one bare-integer key.
+            if let Some(rest) = line.strip_prefix("line") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    let value = value.split('#').next().unwrap_or("").trim();
+                    let Some((_, partial)) = current.as_mut() else {
+                        return Err(format!(
+                            "lint.toml:{lineno}: `line` outside an [[allow]] entry"
+                        ));
+                    };
+                    partial.line = Some(value.parse::<usize>().map_err(|_| {
+                        format!("lint.toml:{lineno}: `line` must be a bare integer, got `{value}`")
+                    })?);
+                    continue;
+                }
+            }
             let Some((key, value)) = parse_key_value(line) else {
                 return Err(format!(
                     "lint.toml:{lineno}: expected `key = \"value\"`, got `{line}`"
@@ -100,25 +138,30 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    /// Marks allowed diagnostics in place and returns the entries that
-    /// matched nothing (stale).
-    pub fn apply(&self, diagnostics: &mut [Diagnostic]) -> Vec<AllowEntry> {
-        let mut used = vec![false; self.entries.len()];
-        for d in diagnostics.iter_mut() {
-            for (i, e) in self.entries.iter().enumerate() {
-                if e.matches(d) {
-                    used[i] = true;
-                    d.allowed = Some(e.reason.clone());
-                    break;
+    /// Marks allowed diagnostics in place. Each entry must anchor to
+    /// exactly one diagnostic: zero matches makes it stale, two or more
+    /// make it ambiguous (and excuse nothing); both fail the run.
+    pub fn apply(&self, diagnostics: &mut [Diagnostic]) -> ApplyOutcome {
+        let mut outcome = ApplyOutcome::default();
+        for e in &self.entries {
+            let matched: Vec<usize> = diagnostics
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| e.matches(d))
+                .map(|(i, _)| i)
+                .collect();
+            match matched.as_slice() {
+                [] => outcome.stale.push(e.clone()),
+                [one] => {
+                    let d = &mut diagnostics[*one];
+                    if d.allowed.is_none() {
+                        d.allowed = Some(e.reason.clone());
+                    }
                 }
+                many => outcome.ambiguous.push((e.clone(), many.len())),
             }
         }
-        self.entries
-            .iter()
-            .zip(used)
-            .filter(|(_, u)| !u)
-            .map(|(e, _)| e.clone())
-            .collect()
+        outcome
     }
 }
 
@@ -127,6 +170,7 @@ struct PartialEntry {
     rule: Option<RuleId>,
     file: Option<String>,
     pattern: Option<String>,
+    line: Option<usize>,
     reason: Option<String>,
 }
 
@@ -144,6 +188,7 @@ impl PartialEntry {
             rule: self.rule.ok_or_else(|| missing("rule"))?,
             file: self.file.ok_or_else(|| missing("file"))?,
             pattern: self.pattern.ok_or_else(|| missing("pattern"))?,
+            line: self.line,
             reason,
             defined_at: at,
         })
@@ -222,8 +267,9 @@ reason = "event times come from finite pmf support"
             "crates/sim/src/event.rs",
             r#".partial_cmp(&self.time).expect("event times are finite")"#,
         )];
-        let stale = list.apply(&mut ds);
-        assert!(stale.is_empty());
+        let outcome = list.apply(&mut ds);
+        assert!(outcome.stale.is_empty());
+        assert!(outcome.ambiguous.is_empty());
         assert!(ds[0].allowed.is_some());
     }
 
@@ -233,9 +279,9 @@ reason = "event times come from finite pmf support"
                     pattern = \"gone()\"\nreason = \"was audited\"\n";
         let list = Allowlist::parse(toml).unwrap();
         let mut ds: Vec<Diagnostic> = Vec::new();
-        let stale = list.apply(&mut ds);
-        assert_eq!(stale.len(), 1);
-        assert_eq!(stale[0].pattern, "gone()");
+        let outcome = list.apply(&mut ds);
+        assert_eq!(outcome.stale.len(), 1);
+        assert_eq!(outcome.stale[0].pattern, "gone()");
     }
 
     #[test]
@@ -247,9 +293,51 @@ reason = "event times come from finite pmf support"
             diag(RuleId::PanicDiscipline, "crates/a.rs", "x == 0.0"),
             diag(RuleId::FloatDiscipline, "crates/b.rs", "x == 0.0"),
         ];
-        let stale = list.apply(&mut ds);
-        assert_eq!(stale.len(), 1);
+        let outcome = list.apply(&mut ds);
+        assert_eq!(outcome.stale.len(), 1);
         assert!(ds.iter().all(|d| d.allowed.is_none()));
+    }
+
+    #[test]
+    fn an_entry_matching_two_diagnostics_is_ambiguous_and_excuses_neither() {
+        let toml = "[[allow]]\nrule = \"R4-panic\"\nfile = \"crates/a.rs\"\n\
+                    pattern = \"unwrap()\"\nreason = \"audited once\"\n";
+        let list = Allowlist::parse(toml).unwrap();
+        let mut ds = vec![
+            diag(RuleId::PanicDiscipline, "crates/a.rs", "x.unwrap()"),
+            diag(RuleId::PanicDiscipline, "crates/a.rs", "y.unwrap()"),
+        ];
+        let outcome = list.apply(&mut ds);
+        assert_eq!(outcome.ambiguous.len(), 1);
+        assert_eq!(outcome.ambiguous[0].1, 2);
+        assert!(outcome.stale.is_empty());
+        assert!(ds.iter().all(|d| d.allowed.is_none()));
+    }
+
+    #[test]
+    fn a_line_pin_disambiguates_a_shared_pattern() {
+        let toml = "[[allow]]\nrule = \"R4-panic\"\nfile = \"crates/a.rs\"\n\
+                    pattern = \"unwrap()\"\nline = 9\nreason = \"the line-9 site is audited\"\n";
+        let list = Allowlist::parse(toml).unwrap();
+        assert_eq!(list.entries[0].line, Some(9));
+        let mut ds = vec![
+            diag(RuleId::PanicDiscipline, "crates/a.rs", "x.unwrap()"),
+            diag(RuleId::PanicDiscipline, "crates/a.rs", "y.unwrap()"),
+        ];
+        ds[0].line = 4;
+        ds[1].line = 9;
+        let outcome = list.apply(&mut ds);
+        assert!(outcome.ambiguous.is_empty(), "{:?}", outcome.ambiguous);
+        assert!(outcome.stale.is_empty());
+        assert!(ds[0].allowed.is_none());
+        assert!(ds[1].allowed.is_some());
+    }
+
+    #[test]
+    fn non_integer_line_values_are_rejected() {
+        let toml = "[[allow]]\nrule = \"R4-panic\"\nfile = \"f\"\npattern = \"p\"\n\
+                    line = \"9\"\nreason = \"r\"\n";
+        assert!(Allowlist::parse(toml).unwrap_err().contains("bare integer"));
     }
 
     #[test]

@@ -3,11 +3,11 @@
 
 use std::fmt;
 
-/// The four enforced invariants (DESIGN.md §9).
+/// The six enforced invariants (DESIGN.md §9, §14).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// R1: every public `&mut self` method on an epoch-guarded type must
-    /// bump `self.epoch`.
+    /// bump `self.epoch` on every exit path (flow-sensitive since v2).
     EpochDiscipline,
     /// R2: no nondeterministic collections, wall-clock reads, or OS
     /// entropy in result-affecting crates.
@@ -18,6 +18,13 @@ pub enum RuleId {
     /// R4: no `unwrap`/`expect`/`panic!` in non-test library code unless
     /// audited and allowlisted.
     PanicDiscipline,
+    /// R5: no function in a result-affecting crate may *transitively*
+    /// reach an R2-banned construct through the call graph (the
+    /// "banned call laundered through a helper crate" hole in R2).
+    TaintDiscipline,
+    /// R6: functions annotated `// lint: alloc-free` must not
+    /// transitively reach allocating constructs outside audited sites.
+    AllocFree,
 }
 
 impl RuleId {
@@ -29,6 +36,8 @@ impl RuleId {
             RuleId::Determinism => "R2-determinism",
             RuleId::FloatDiscipline => "R3-float",
             RuleId::PanicDiscipline => "R4-panic",
+            RuleId::TaintDiscipline => "R5-taint",
+            RuleId::AllocFree => "R6-allocfree",
         }
     }
 
@@ -39,17 +48,21 @@ impl RuleId {
             "R2-determinism" => Some(RuleId::Determinism),
             "R3-float" => Some(RuleId::FloatDiscipline),
             "R4-panic" => Some(RuleId::PanicDiscipline),
+            "R5-taint" => Some(RuleId::TaintDiscipline),
+            "R6-allocfree" => Some(RuleId::AllocFree),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [RuleId; 4] {
+    pub fn all() -> [RuleId; 6] {
         [
             RuleId::EpochDiscipline,
             RuleId::Determinism,
             RuleId::FloatDiscipline,
             RuleId::PanicDiscipline,
+            RuleId::TaintDiscipline,
+            RuleId::AllocFree,
         ]
     }
 }

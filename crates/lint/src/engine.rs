@@ -1,11 +1,13 @@
-//! The lint driver: workspace discovery, rule execution, allowlist
-//! application.
+//! The lint driver: workspace discovery, model construction, rule
+//! execution, allowlist application, and the coverage gate.
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::allowlist::{AllowEntry, Allowlist};
 use crate::diag::Diagnostic;
+use crate::model::{self, Workspace};
 use crate::rules;
 use crate::source;
 
@@ -15,6 +17,12 @@ const CRATE_SUBDIRS: &[&str] = &["src", "tests", "benches"];
 /// Path components that exclude a file from linting: rule fixtures are
 /// intentional violations.
 const EXCLUDED_COMPONENTS: &[&str] = &["fixtures"];
+
+/// Minimum percentage of function bodies the statement parser must
+/// shape for the run to certify the workspace. Below this, the
+/// flow-sensitive rules are reasoning about too little of the code for
+/// "0 violations" to mean anything.
+pub const MIN_BODY_COVERAGE_PCT: usize = 95;
 
 /// The outcome of a lint run.
 #[derive(Debug, Default)]
@@ -26,9 +34,23 @@ pub struct RunResult {
     pub diagnostics: Vec<Diagnostic>,
     /// Allowlist entries that matched no diagnostic.
     pub stale_entries: Vec<AllowEntry>,
+    /// Allowlist entries that matched more than one diagnostic, with
+    /// their match counts; such entries excuse nothing.
+    pub ambiguous_entries: Vec<(AllowEntry, usize)>,
     /// Files that failed to parse (path: message). A parse failure fails
     /// the run: the linter must not certify code it could not read.
     pub parse_errors: Vec<String>,
+    /// Function bodies present in the workspace.
+    pub bodies_total: usize,
+    /// Function bodies the statement parser shaped (CFG-analyzable).
+    pub bodies_parsed: usize,
+    /// Bodies the statement parser skipped, as (file, function,
+    /// signature line, reason).
+    pub skipped_bodies: Vec<(String, String, usize, String)>,
+    /// Wall-clock time of the run in milliseconds. Excluded from the
+    /// artifact drift check (`git diff -I` in CI); everything else in
+    /// the JSON report is byte-stable.
+    pub elapsed_ms: u128,
 }
 
 impl RunResult {
@@ -42,12 +64,29 @@ impl RunResult {
         self.diagnostics.iter().filter(|d| d.allowed.is_some())
     }
 
+    /// Body coverage in tenths of a percent (998 = 99.8%); an empty
+    /// workspace counts as full coverage.
+    pub fn coverage_permille(&self) -> usize {
+        (self.bodies_parsed * 1000)
+            .checked_div(self.bodies_total)
+            .unwrap_or(1000)
+    }
+
+    /// Whether enough bodies were statement-parsed for the
+    /// flow-sensitive rules to certify the workspace.
+    pub fn coverage_ok(&self) -> bool {
+        self.coverage_permille() >= MIN_BODY_COVERAGE_PCT * 10
+    }
+
     /// Whether the workspace passes: no unallowlisted violations, no
-    /// stale allowlist entries, no unparseable files.
+    /// stale or ambiguous allowlist entries, no unparseable files, and
+    /// body coverage at or above [`MIN_BODY_COVERAGE_PCT`].
     pub fn is_clean(&self) -> bool {
         self.violations().next().is_none()
             && self.stale_entries.is_empty()
+            && self.ambiguous_entries.is_empty()
             && self.parse_errors.is_empty()
+            && self.coverage_ok()
     }
 }
 
@@ -64,23 +103,66 @@ pub fn run_workspace(root: &Path) -> io::Result<RunResult> {
     run_with_allowlist(root, &allowlist)
 }
 
+/// The lint's own wall time is reporting-only: `elapsed_ms` is excluded
+/// from the report's byte-stability contract (CI masks it when diffing),
+/// so the R2 clock ban does not apply to this one read.
+#[allow(clippy::disallowed_methods)]
+fn start_clock() -> Instant {
+    Instant::now()
+}
+
 /// Lints the workspace with an explicit allowlist (test entry point).
 pub fn run_with_allowlist(root: &Path, allowlist: &Allowlist) -> io::Result<RunResult> {
-    let mut result = RunResult::default();
+    let started = start_clock();
+    let mut parse_errors = Vec::new();
+    let mut files = Vec::new();
     for rel_path in discover(root)? {
         match source::load(root, &rel_path) {
-            Ok(file) => {
-                result.files_scanned += 1;
-                rules::check_all(&file, &mut result.diagnostics);
-            }
-            Err(msg) => result.parse_errors.push(msg),
+            Ok(file) => files.push(file),
+            Err(msg) => parse_errors.push(msg),
         }
     }
+    let deps = model::crate_deps(root);
+    let ws = Workspace::new(files, &deps);
+    let mut result = finish_run(&ws, allowlist);
+    result.parse_errors = parse_errors;
+    result.elapsed_ms = started.elapsed().as_millis();
+    Ok(result)
+}
+
+/// Lints in-memory `(rel_path, source)` pairs with permissive crate
+/// resolution — the fixture/property-test entry point. Source order
+/// does not affect the result (the workspace sorts by path).
+pub fn run_on_sources(
+    sources: &[(&str, &str)],
+    allowlist: &Allowlist,
+) -> Result<RunResult, String> {
+    let started = start_clock();
+    let ws = Workspace::from_sources(sources)?;
+    let mut result = finish_run(&ws, allowlist);
+    result.elapsed_ms = started.elapsed().as_millis();
+    Ok(result)
+}
+
+/// Shared back half of a run: rules, deterministic ordering, allowlist,
+/// coverage accounting.
+fn finish_run(ws: &Workspace, allowlist: &Allowlist) -> RunResult {
+    let mut result = RunResult {
+        files_scanned: ws.files.len(),
+        ..RunResult::default()
+    };
+    rules::check_workspace(ws, &mut result.diagnostics);
     result.diagnostics.sort_by(|a, b| {
         (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
     });
-    result.stale_entries = allowlist.apply(&mut result.diagnostics);
-    Ok(result)
+    let outcome = allowlist.apply(&mut result.diagnostics);
+    result.stale_entries = outcome.stale;
+    result.ambiguous_entries = outcome.ambiguous;
+    let (total, parsed) = ws.body_coverage();
+    result.bodies_total = total;
+    result.bodies_parsed = parsed;
+    result.skipped_bodies = ws.skipped_bodies();
+    result
 }
 
 /// Collects every lintable `.rs` file: `crates/*/{src,tests,benches}` and

@@ -1,15 +1,33 @@
 //! Reporters: the human diagnostic listing and the machine-readable JSON
-//! artifact (`results/LINT.json`) that tracks rule/violation counts
-//! across PRs.
+//! artifact (`results/LINT.json`) that tracks rule/violation counts and
+//! analysis coverage across PRs.
+//!
+//! JSON schema 2 (this PR) adds the flow-sensitive engine's
+//! accountability fields: per-rule counts for all six rules, the body
+//! coverage ratio (functions whose bodies the statement parser shaped
+//! vs. skipped, itemized), ambiguous allowlist entries, and the run's
+//! wall time. Everything except `elapsed_ms` is byte-stable; CI diffs
+//! the committed artifact with `-I '"elapsed_ms"'`.
 
 use std::fmt::Write as _;
 
 use crate::diag::RuleId;
 use crate::engine::RunResult;
 
+/// The `results/LINT.json` schema version this reporter emits.
+pub const JSON_SCHEMA: u32 = 2;
+
+/// Body coverage as a `"99.8"`-style string (one decimal, truncated),
+/// shared by both reporters so they cannot disagree.
+fn coverage_str(result: &RunResult) -> String {
+    let pm = result.coverage_permille();
+    format!("{}.{}", pm / 10, pm % 10)
+}
+
 /// Renders the human report: every unallowlisted violation in full, a
 /// one-line entry per allowed site (with its audit reason when `verbose`),
-/// stale allowlist entries, parse errors, and a summary line.
+/// stale and ambiguous allowlist entries, parse errors, skipped bodies
+/// (when `verbose`), and a summary line with coverage and wall time.
 pub fn human(result: &RunResult, verbose: bool) -> String {
     let mut out = String::new();
     for d in result.violations() {
@@ -24,12 +42,27 @@ pub fn human(result: &RunResult, verbose: bool) -> String {
                 d.file, d.line, d.column, d.rule, reason
             );
         }
+        for (file, func, line, reason) in &result.skipped_bodies {
+            let _ = writeln!(
+                out,
+                "{file}:{line}: body of `{func}` not statement-parsed ({reason}) — \
+                 flow-sensitive rules fell back to whole-body checks"
+            );
+        }
     }
     for e in &result.stale_entries {
         let _ = writeln!(
             out,
             "lint.toml:{}: stale [[allow]] entry ({} {} pattern `{}`) matches no code — \
              delete it",
+            e.defined_at, e.rule, e.file, e.pattern
+        );
+    }
+    for (e, n) in &result.ambiguous_entries {
+        let _ = writeln!(
+            out,
+            "lint.toml:{}: ambiguous [[allow]] entry ({} {} pattern `{}`) matches {n} \
+             diagnostics — anchor it with `line = N` or a longer pattern",
             e.defined_at, e.rule, e.file, e.pattern
         );
     }
@@ -41,7 +74,8 @@ pub fn human(result: &RunResult, verbose: bool) -> String {
     let _ = write!(
         out,
         "ecds-lint: {} files scanned, {} violation{}, {} allowed, {} stale allowlist \
-         entr{}, {} parse error{}",
+         entr{}, {} ambiguous, {} parse error{}, body coverage {}% ({}/{} parsed, min \
+         {}%), {} ms",
         result.files_scanned,
         violations,
         if violations == 1 { "" } else { "s" },
@@ -52,23 +86,58 @@ pub fn human(result: &RunResult, verbose: bool) -> String {
         } else {
             "ies"
         },
+        result.ambiguous_entries.len(),
         result.parse_errors.len(),
         if result.parse_errors.len() == 1 {
             ""
         } else {
             "s"
         },
+        coverage_str(result),
+        result.bodies_parsed,
+        result.bodies_total,
+        crate::engine::MIN_BODY_COVERAGE_PCT,
+        result.elapsed_ms,
     );
     out
 }
 
-/// Renders `results/LINT.json`: schema-versioned per-rule counts plus the
-/// full diagnostic lists, deterministically ordered.
+/// Renders `results/LINT.json` (schema 2): per-rule counts, the full
+/// diagnostic lists, allowlist health, and analysis coverage,
+/// deterministically ordered.
 pub fn json(result: &RunResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    let _ = writeln!(out, "  \"schema\": {JSON_SCHEMA},");
     let _ = writeln!(out, "  \"files_scanned\": {},", result.files_scanned);
+    let _ = writeln!(out, "  \"elapsed_ms\": {},", result.elapsed_ms);
+    out.push_str("  \"coverage\": {\n");
+    let _ = writeln!(out, "    \"bodies_total\": {},", result.bodies_total);
+    let _ = writeln!(out, "    \"bodies_parsed\": {},", result.bodies_parsed);
+    let _ = writeln!(
+        out,
+        "    \"bodies_skipped\": {},",
+        result.skipped_bodies.len()
+    );
+    let _ = writeln!(out, "    \"percent\": {},", coverage_str(result));
+    let _ = writeln!(out, "    \"ok\": {}", result.coverage_ok());
+    out.push_str("  },\n");
+    out.push_str("  \"skipped_bodies\": [");
+    for (i, (file, func, line, reason)) in result.skipped_bodies.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{ \"file\": \"{}\", \"function\": \"{}\", \"line\": {line}, \
+             \"reason\": \"{}\" }}",
+            escape(file),
+            escape(func),
+            escape(reason)
+        );
+    }
+    if !result.skipped_bodies.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
     out.push_str("  \"rules\": {\n");
     let rules = RuleId::all();
     for (i, rule) in rules.iter().enumerate() {
@@ -94,6 +163,20 @@ pub fn json(result: &RunResult) -> String {
         let _ = write!(
             out,
             "{{ \"rule\": \"{}\", \"file\": \"{}\", \"pattern\": \"{}\" }}",
+            e.rule,
+            escape(&e.file),
+            escape(&e.pattern)
+        );
+    }
+    out.push_str("],\n");
+    out.push_str("  \"ambiguous_allowlist\": [");
+    for (i, (e, n)) in result.ambiguous_entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{ \"rule\": \"{}\", \"file\": \"{}\", \"pattern\": \"{}\", \"matches\": {n} }}",
             e.rule,
             escape(&e.file),
             escape(&e.pattern)
@@ -170,8 +253,15 @@ mod tests {
                 suggestion: "use BTreeMap".to_string(),
                 allowed: None,
             }],
-            stale_entries: Vec::new(),
-            parse_errors: Vec::new(),
+            bodies_total: 40,
+            bodies_parsed: 39,
+            skipped_bodies: vec![(
+                "crates/core/src/x.rs".to_string(),
+                "odd".to_string(),
+                3,
+                "unshaped macro body".to_string(),
+            )],
+            ..RunResult::default()
         }
     }
 
@@ -181,14 +271,59 @@ mod tests {
         assert!(text.contains("crates/core/src/x.rs:7:4"));
         assert!(text.contains("R2-determinism"));
         assert!(text.contains("1 violation,"));
+        assert!(text.contains("body coverage 97.5%"), "{text}");
     }
 
     #[test]
-    fn json_report_has_counts_and_escapes() {
+    fn json_report_has_counts_coverage_and_escapes() {
         let text = json(&result_with_one_violation());
+        assert!(text.contains("\"schema\": 2"));
         assert!(text.contains("\"R2-determinism\": { \"violations\": 1, \"allowed\": 0 }"));
+        assert!(text.contains("\"R6-allocfree\": { \"violations\": 0, \"allowed\": 0 }"));
+        assert!(text.contains("\"bodies_parsed\": 39"));
+        assert!(text.contains("\"percent\": 97.5"));
+        assert!(text.contains("\"unshaped macro body\""));
         assert!(text.contains("\"clean\": false"));
-        assert!(text.contains("nondeterministic"));
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn ambiguous_entries_fail_the_run_and_are_reported() {
+        let mut r = result_with_one_violation();
+        r.diagnostics.clear();
+        r.ambiguous_entries.push((
+            crate::allowlist::AllowEntry {
+                rule: RuleId::PanicDiscipline,
+                file: "crates/a.rs".to_string(),
+                pattern: "unwrap()".to_string(),
+                line: None,
+                reason: "audited".to_string(),
+                defined_at: 12,
+            },
+            2,
+        ));
+        assert!(!r.is_clean());
+        let text = human(&r, false);
+        assert!(text.contains("ambiguous [[allow]] entry"), "{text}");
+        assert!(text.contains("matches 2 diagnostics"), "{text}");
+        let js = json(&r);
+        assert!(
+            js.contains("\"ambiguous_allowlist\": [{ \"rule\": \"R4-panic\""),
+            "{js}"
+        );
+    }
+
+    #[test]
+    fn coverage_below_the_floor_is_not_clean() {
+        let mut r = RunResult {
+            bodies_total: 100,
+            bodies_parsed: 94,
+            ..RunResult::default()
+        };
+        assert!(!r.coverage_ok());
+        assert!(!r.is_clean());
+        r.bodies_parsed = 95;
+        assert!(r.coverage_ok());
+        assert!(r.is_clean());
     }
 }

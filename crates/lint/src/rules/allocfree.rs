@@ -1,0 +1,185 @@
+//! R6 alloc-free certification: a function annotated
+//! `// lint: alloc-free` must not reach an allocating construct —
+//! directly or through any resolved callee.
+//!
+//! The fused pmf kernels and the indexed evaluation paths are the inner
+//! loops of every experiment; DESIGN.md promises they run allocation-free
+//! after scratch warm-up so their cost model (and the mega-scale scaling
+//! argument) holds. The promise used to live in comments and one
+//! allocation-counting test; R6 makes it a static certificate. The
+//! allocating vocabulary is syntactic — container constructors
+//! (`Vec::new`, `Box::new`, `String::from`, ...), growth methods
+//! (`.push()`, `.extend()`, `.collect()`, `.clone()`, ...), and the
+//! `vec!`/`format!` macros — detected in every function of the marked
+//! root's transitive call closure. Sites that are provably amortized or
+//! cold (error paths, one-time warm-up) are audited in lint.toml, never
+//! silently ignored.
+//!
+//! Call resolution is the heuristic documented in [`crate::model`]: an
+//! over-approximation (extra candidate edges may flag too much, and the
+//! allowlist absorbs audited noise) except for calls into non-workspace
+//! code, which are invisible — std and vendored callees are instead
+//! covered by the direct-site vocabulary at the call site itself.
+
+use std::collections::VecDeque;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::model::Workspace;
+
+/// Runs the rule over the workspace model.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let n = ws.fns.len();
+    let member: Vec<bool> = {
+        let mut m = vec![false; n];
+        for i in ws.graph_members() {
+            m[i] = true;
+        }
+        m
+    };
+
+    // Forward multi-source BFS from the marked roots; `origin[i]`
+    // remembers (root, parent) so every finding can print how the
+    // closure reached it.
+    let mut origin: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for i in 0..n {
+        if member[i] && ws.fns[i].alloc_free_root {
+            origin[i] = Some((i, i));
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let root = origin[cur].expect("queued nodes have origins").0;
+        for &callee in &ws.callees[cur] {
+            if member[callee] && origin[callee].is_none() {
+                origin[callee] = Some((root, cur));
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    let mut flagged: Vec<(String, usize)> = Vec::new();
+    for i in 0..n {
+        let Some((root, _)) = origin[i] else { continue };
+        let f = &ws.fns[i];
+        let file = &ws.files[f.file];
+
+        // Chain from the root down to this function.
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some((_, parent)) = origin[cur] {
+            if parent == cur {
+                break;
+            }
+            chain.push(parent);
+            cur = parent;
+        }
+        chain.reverse();
+        let rendered: Vec<String> = chain.iter().map(|&k| ws.fns[k].label()).collect();
+        let via = if chain.len() > 1 {
+            format!(" via {}", rendered.join(" -> "))
+        } else {
+            String::new()
+        };
+
+        for site in &f.alloc_sites {
+            // One diagnostic per (file, line): several sites on one line
+            // would defeat unambiguous allowlist anchoring.
+            if flagged.contains(&(file.rel_path.clone(), site.line)) {
+                continue;
+            }
+            flagged.push((file.rel_path.clone(), site.line));
+            out.push(Diagnostic {
+                rule: RuleId::AllocFree,
+                file: file.rel_path.clone(),
+                line: site.line,
+                column: site.column,
+                snippet: file.line_text(site.line).to_string(),
+                message: format!(
+                    "`{}` allocates inside the alloc-free closure of `{}`{}",
+                    site.what,
+                    ws.fns[root].label(),
+                    via,
+                ),
+                suggestion: "move the allocation out of the certified hot path (pre-size \
+                             it in the scratch arena or hoist it to setup), or allowlist \
+                             this site in lint.toml with a rationale proving it is cold \
+                             or amortized"
+                    .to_string(),
+                allowed: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(sources).unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_allocation_in_a_marked_function_is_flagged() {
+        let out = diags(&[(
+            "crates/pmf/src/kernel.rs",
+            "// lint: alloc-free\n\
+             pub fn convolve(out_buf: &mut [f64]) {\n\
+                 let scratch = Vec::with_capacity(out_buf.len());\n\
+                 drop(scratch);\n\
+             }\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(
+            out[0].message.contains("Vec::with_capacity"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn allocation_in_a_transitive_callee_is_flagged_with_the_chain() {
+        let out = diags(&[(
+            "crates/pmf/src/kernel.rs",
+            "// lint: alloc-free\n\
+             pub fn convolve(out_buf: &mut [f64]) { accumulate(out_buf); }\n\
+             fn accumulate(out_buf: &mut [f64]) { grow(out_buf); }\n\
+             fn grow(out_buf: &mut [f64]) { let mut v = vec![0.0]; v.push(1.0); }\n",
+        )]);
+        assert_eq!(out.len(), 1, "one line, one diagnostic: {out:#?}");
+        let d = &out[0];
+        assert_eq!(d.line, 4);
+        assert!(d.message.contains("vec!"), "{}", d.message);
+        assert!(
+            d.message.contains("convolve -> accumulate -> grow"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn unmarked_functions_allocate_freely() {
+        let out = diags(&[(
+            "crates/pmf/src/kernel.rs",
+            "pub fn setup() -> Vec<f64> { let mut v = Vec::new(); v.push(0.0); v }\n",
+        )]);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn functions_outside_the_closure_are_not_flagged() {
+        let out = diags(&[(
+            "crates/pmf/src/kernel.rs",
+            "// lint: alloc-free\n\
+             pub fn hot(x: &mut [f64]) { scale(x); }\n\
+             fn scale(x: &mut [f64]) { for v in x.iter_mut() { *v *= 2.0; } }\n\
+             pub fn cold() { let _ = vec![1]; }\n",
+        )]);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

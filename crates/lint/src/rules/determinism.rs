@@ -102,6 +102,13 @@ const PERSIST_BANNED: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Looks up `name` in the determinism ban table, returning `(name,
+/// problem, fix)`. The R5 taint rule treats any function containing one
+/// of these identifiers as a taint source, wherever it lives.
+pub fn banned_source(name: &str) -> Option<(&'static str, &'static str, &'static str)> {
+    BANNED.iter().copied().find(|(n, _, _)| *n == name)
+}
+
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let persist = file.crate_name == "persist";

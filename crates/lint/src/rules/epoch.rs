@@ -1,90 +1,125 @@
-//! R1 epoch-discipline: every public `&mut self` method on an
-//! epoch-guarded type must bump `self.epoch`.
+//! R1 epoch-discipline (v2, flow-sensitive): every public `&mut self`
+//! method on an epoch-guarded type must bump `self.epoch` on **every**
+//! exit path.
 //!
 //! The PR-1 queue-prefix pmf cache keys its entries on
-//! [`CoreState::epoch`]: two observations with equal epochs are assumed to
+//! `CoreState::epoch`: two observations with equal epochs are assumed to
 //! have seen identical executing/queued state, so a mutator that forgets
 //! to bump the epoch silently serves stale cached prefixes and corrupts
 //! every downstream robustness number. `CoreState` is always guarded; any
 //! other type can opt in with a `// lint: epoch-guarded` marker comment
 //! above its declaration.
 //!
-//! The check is syntactic: the method body must contain a literal
-//! `self.epoch += 1` (at any nesting depth). Methods that legitimately
-//! mutate without bumping — there are none today — must be allowlisted
-//! with a rationale. Conditional bumps (as in `pop_queued`, which only
-//! mutates when the queue is non-empty) satisfy the rule because the bump
-//! exists on the mutating path; the rule deliberately does not attempt
-//! path-sensitive dataflow.
+//! v1 of this rule only required a literal `self.epoch += 1` *somewhere*
+//! in the body, which a branchy mutator could satisfy while leaking an
+//! unbumped early `return` or `?` propagation. v2 lowers the parsed body
+//! to a [`Cfg`] and runs the must-bump dataflow in
+//! [`Cfg::missed_exits`]: each exit edge on which the bump may not have
+//! executed yields its own diagnostic, anchored at the escaping
+//! statement. Methods whose body the statement parser cannot shape fall
+//! back to the v1 whole-body check and are itemized as skipped bodies in
+//! the coverage report.
 
 use proc_macro2::TokenTree;
-use syn::{Item, ItemImpl, Visibility};
+use syn::Visibility;
 
+use crate::cfg::{Cfg, EdgeKind, NodeKind};
 use crate::diag::{Diagnostic, RuleId};
+use crate::model::{FnModel, Workspace};
 use crate::scan::{for_each_sibling_run, is_ident, is_punct};
 use crate::source::SourceFile;
 
 /// Types guarded in every file, marker or no marker.
 const ALWAYS_GUARDED: &[&str] = &["CoreState"];
 
-/// Runs the rule over one file.
-pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    file.walk_items(&mut |item, in_test| {
-        if in_test {
-            return;
-        }
-        let Item::Impl(imp) = item else {
-            return;
-        };
-        if imp.trait_path.is_some() {
-            return; // trait impls don't define the mutation surface
-        }
-        let guarded = ALWAYS_GUARDED.contains(&imp.self_ty.as_str())
-            || file.epoch_guarded.contains(&imp.self_ty);
-        if guarded {
-            check_impl(file, imp, out);
-        }
-    });
-}
-
-fn check_impl(file: &SourceFile, imp: &ItemImpl, out: &mut Vec<Diagnostic>) {
-    for member in &imp.items {
-        let Item::Fn(f) = member else { continue };
-        if f.vis != Visibility::Public {
+/// Runs the rule over the workspace model.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for f in &ws.fns {
+        let file = &ws.files[f.file];
+        if f.in_test || f.in_trait_impl || f.vis != Visibility::Public {
             continue;
         }
-        let Some(recv) = f.sig.receiver else { continue };
+        let Some(recv) = f.receiver else { continue };
         if !(recv.reference && recv.mutable) {
             continue;
         }
-        let bumps = f
-            .body
-            .as_ref()
-            .is_some_and(|body| contains_epoch_bump(body.tokens()));
-        if !bumps {
-            let start = f.sig.span.start();
-            out.push(Diagnostic {
-                rule: RuleId::EpochDiscipline,
-                file: file.rel_path.clone(),
-                line: start.line,
-                column: start.column,
-                snippet: file.line_text(start.line).to_string(),
-                message: format!(
-                    "pub fn {}(&mut self) on epoch-guarded type `{}` never bumps `self.epoch`",
-                    f.sig.ident, imp.self_ty
-                ),
-                suggestion: "add `self.epoch += 1;` on the mutating path, or allowlist the \
-                             method in lint.toml with a rationale if it provably cannot \
-                             change observable state"
-                    .to_string(),
-                allowed: None,
-            });
+        let Some(self_ty) = f.self_ty.as_deref() else {
+            continue;
+        };
+        let guarded =
+            ALWAYS_GUARDED.contains(&self_ty) || file.epoch_guarded.iter().any(|t| t == self_ty);
+        if !guarded {
+            continue;
         }
+        check_method(file, f, self_ty, out);
     }
 }
 
-/// Whether the body contains `self.epoch += 1` at any nesting depth.
-fn contains_epoch_bump(tokens: &[TokenTree]) -> bool {
+fn check_method(file: &SourceFile, f: &FnModel, self_ty: &str, out: &mut Vec<Diagnostic>) {
+    let bumps_somewhere = f
+        .body
+        .as_ref()
+        .is_some_and(|body| contains_epoch_bump(body));
+    if !bumps_somewhere {
+        out.push(Diagnostic {
+            rule: RuleId::EpochDiscipline,
+            file: file.rel_path.clone(),
+            line: f.line,
+            column: f.column,
+            snippet: file.line_text(f.line).to_string(),
+            message: format!(
+                "pub fn {}(&mut self) on epoch-guarded type `{}` never bumps `self.epoch`",
+                f.name, self_ty
+            ),
+            suggestion: "add `self.epoch += 1;` on the mutating path, or allowlist the \
+                         method in lint.toml with a rationale if it provably cannot \
+                         change observable state"
+                .to_string(),
+            allowed: None,
+        });
+        return;
+    }
+    // A bump exists somewhere; the flow-sensitive pass asks whether it
+    // covers every exit. Unparseable bodies keep the v1 answer (the
+    // engine itemizes them as skipped).
+    let Some(block) = &f.block else { return };
+    let cfg = Cfg::build(block);
+    let gen: Vec<bool> = cfg
+        .nodes
+        .iter()
+        .map(|n| contains_epoch_bump(&n.tokens))
+        .collect();
+    for miss in cfg.missed_exits(&gen) {
+        let node = &cfg.nodes[miss.node];
+        let start = node.span.start();
+        let path = match (miss.kind, node.kind) {
+            (EdgeKind::Early, _) => "may exit via `?` before bumping `self.epoch`",
+            (_, NodeKind::Return) => "returns without bumping `self.epoch` on this path",
+            (_, NodeKind::Break) => "breaks to the function exit without bumping `self.epoch`",
+            _ => "can fall through to the exit without bumping `self.epoch`",
+        };
+        out.push(Diagnostic {
+            rule: RuleId::EpochDiscipline,
+            file: file.rel_path.clone(),
+            line: start.line,
+            column: start.column,
+            snippet: file.line_text(start.line).to_string(),
+            message: format!(
+                "pub fn {}(&mut self) on epoch-guarded type `{}` {}",
+                f.name, self_ty, path
+            ),
+            suggestion: "bump `self.epoch` before this exit so every path that may have \
+                         mutated state also invalidates the prefix cache, or allowlist \
+                         this exit in lint.toml with a rationale proving it leaves \
+                         observable state unchanged"
+                .to_string(),
+            allowed: None,
+        });
+    }
+}
+
+/// Whether the tokens contain `self.epoch += 1` at any nesting depth.
+pub(crate) fn contains_epoch_bump(tokens: &[TokenTree]) -> bool {
     let mut found = false;
     for_each_sibling_run(tokens, &mut |run| {
         if found {
@@ -111,9 +146,9 @@ mod tests {
     use super::*;
 
     fn diags(src: &str) -> Vec<Diagnostic> {
-        let file = SourceFile::parse("crates/sim/src/state.rs", src).unwrap();
+        let ws = Workspace::from_sources(&[("crates/sim/src/state.rs", src)]).unwrap();
         let mut out = Vec::new();
-        check(&file, &mut out);
+        check(&ws, &mut out);
         out
     }
 
@@ -126,14 +161,24 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("enqueue"));
+        assert!(out[0].message.contains("never bumps"));
         assert_eq!(out[0].line, 2);
     }
 
     #[test]
-    fn mutator_with_bump_passes_even_conditionally() {
+    fn unconditional_bump_passes() {
         let out = diags(
             "impl CoreState {\n\
                  pub fn enqueue(&mut self, x: u32) { self.queued.push(x); self.epoch += 1; }\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn conditional_bump_flags_the_fall_through_exit() {
+        let out = diags(
+            "impl CoreState {\n\
                  pub fn pop(&mut self) -> Option<u32> {\n\
                      let p = self.queued.pop();\n\
                      if p.is_some() { self.epoch += 1; }\n\
@@ -141,7 +186,70 @@ mod tests {
                  }\n\
              }",
         );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("fall through"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].line, 5, "anchored at the trailing `p` expression");
+    }
+
+    #[test]
+    fn early_return_before_the_bump_is_flagged_at_the_return() {
+        let out = diags(
+            "impl CoreState {\n\
+                 pub fn restamp(&mut self, n: u32) {\n\
+                     if n == 0 {\n\
+                         return;\n\
+                     }\n\
+                     self.stamp = n;\n\
+                     self.epoch += 1;\n\
+                 }\n\
+             }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("returns without"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn bump_on_every_branch_passes() {
+        let out = diags(
+            "impl CoreState {\n\
+                 pub fn toggle(&mut self, on: bool) {\n\
+                     if on {\n\
+                         self.flag = true;\n\
+                         self.epoch += 1;\n\
+                     } else {\n\
+                         self.flag = false;\n\
+                         self.epoch += 1;\n\
+                     }\n\
+                 }\n\
+             }",
+        );
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn question_mark_before_the_bump_is_flagged_as_early_exit() {
+        let out = diags(
+            "impl CoreState {\n\
+                 pub fn absorb(&mut self, s: &str) -> Result<(), Error> {\n\
+                     let v = s.parse::<u64>()?;\n\
+                     self.total += v;\n\
+                     self.epoch += 1;\n\
+                     Ok(())\n\
+                 }\n\
+             }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`?`"), "{}", out[0].message);
+        assert_eq!(out[0].line, 3);
     }
 
     #[test]

@@ -1,16 +1,19 @@
-//! The rule implementations. Each rule is a function from a parsed
-//! [`SourceFile`] to zero or more
-//! [`Diagnostic`]s; scoping (which crates, which
+//! The rule implementations. The per-file rules (R2/R3/R4) map a parsed
+//! [`crate::source::SourceFile`] to zero or more [`Diagnostic`]s; the
+//! flow-sensitive and interprocedural rules (R1v2/R5/R6) run over the
+//! whole-workspace [`Workspace`] model. Scoping (which crates, which
 //! roles, test vs. non-test regions) lives inside each rule so the engine
-//! can run all rules over every file unconditionally.
+//! can run all rules over everything unconditionally.
 
-mod determinism;
-mod epoch;
-mod float;
-mod panic;
+pub mod allocfree;
+pub mod determinism;
+pub mod epoch;
+pub mod float;
+pub mod panic;
+pub mod taint;
 
 use crate::diag::Diagnostic;
-use crate::source::SourceFile;
+use crate::model::Workspace;
 
 /// Crates whose code can reach `results/` bytes: the pmf arithmetic, the
 /// cluster/workload models, the mapper, the engine, the extensions, and
@@ -26,10 +29,17 @@ pub const PANIC_SCOPE_CRATES: &[&str] = &[
     "pmf", "cluster", "workload", "core", "sim", "ext", "stats", "ecds",
 ];
 
-/// Runs every rule over one file, appending diagnostics.
-pub fn check_all(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    epoch::check(file, out);
-    determinism::check(file, out);
-    float::check(file, out);
-    panic::check(file, out);
+/// Runs every rule over the workspace model, appending diagnostics: the
+/// per-file rules (R2/R3/R4) over each parsed file, then the
+/// flow-sensitive and interprocedural rules (R1v2/R5/R6) over the
+/// function and call-graph model.
+pub fn check_workspace(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        determinism::check(file, out);
+        float::check(file, out);
+        panic::check(file, out);
+    }
+    epoch::check(ws, out);
+    taint::check(ws, out);
+    allocfree::check(ws, out);
 }

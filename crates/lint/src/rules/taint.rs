@@ -1,0 +1,219 @@
+//! R5 determinism-taint: no function in a result-affecting crate may
+//! *transitively* reach an R2-banned construct through the call graph.
+//!
+//! R2 flags direct uses of nondeterministic constructs (`HashMap`
+//! iteration, wall-clock reads, entropy-seeded RNGs) inside
+//! result-affecting crates, but it cannot see a banned call *laundered
+//! through a helper crate*: a `crates/bench`-style utility that calls
+//! `thread_rng()` is outside R2's scope, yet a simulation function that
+//! calls the utility inherits the nondeterminism all the same. R5 closes
+//! that hole: every function containing a banned identifier is a taint
+//! source, taint propagates backward over the resolved call graph, and
+//! any result-affecting function that reaches a source *outside* R2's
+//! own scope is flagged with a representative call chain.
+//!
+//! Functions whose direct uses R2 already reports are not re-flagged
+//! (one diagnostic per root cause), and sources inside R2-scoped crates
+//! are likewise left to R2 — R5 only reports laundering that no
+//! per-file rule can see.
+
+use std::collections::VecDeque;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::model::Workspace;
+use crate::rules::RESULT_AFFECTING_CRATES;
+
+/// Whether R2 itself scans `crate_name` (result-affecting ∪ persist);
+/// taint sources inside these crates are R2's findings, not R5's.
+fn r2_scoped(crate_name: &str) -> bool {
+    crate_name == "persist" || RESULT_AFFECTING_CRATES.contains(&crate_name)
+}
+
+/// Runs the rule over the workspace model.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let n = ws.fns.len();
+    let member: Vec<bool> = {
+        let mut m = vec![false; n];
+        for i in ws.graph_members() {
+            m[i] = true;
+        }
+        m
+    };
+
+    // Reverse adjacency over the resolved graph, members only.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, callees) in ws.callees.iter().enumerate() {
+        if !member[caller] {
+            continue;
+        }
+        for &callee in callees {
+            if member[callee] {
+                callers[callee].push(caller);
+            }
+        }
+    }
+
+    // Multi-source backward BFS from out-of-scope taint sources.
+    // `next_hop[i]` points one step along a shortest path toward a
+    // source, giving each flagged function a deterministic chain.
+    let mut next_hop: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for i in 0..n {
+        if member[i]
+            && !ws.fns[i].taint_sites.is_empty()
+            && !r2_scoped(&ws.files[ws.fns[i].file].crate_name)
+        {
+            next_hop[i] = Some(i);
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &p in &callers[cur] {
+            if next_hop[p].is_none() {
+                next_hop[p] = Some(cur);
+                queue.push_back(p);
+            }
+        }
+    }
+
+    for i in 0..n {
+        let f = &ws.fns[i];
+        let file = &ws.files[f.file];
+        if !member[i] || !RESULT_AFFECTING_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        // Direct uses are R2's diagnostics; re-flagging them here would
+        // double-report one root cause.
+        if !f.taint_sites.is_empty() {
+            continue;
+        }
+        if next_hop[i].is_none() {
+            continue;
+        }
+
+        // Walk the chain to the source for the report.
+        let mut chain = vec![i];
+        let mut cur = i;
+        while let Some(next) = next_hop[cur] {
+            if next == cur {
+                break;
+            }
+            chain.push(next);
+            cur = next;
+        }
+        let source = *chain.last().expect("chain starts at i");
+        let src_fn = &ws.fns[source];
+        let banned = src_fn
+            .taint_sites
+            .first()
+            .map(|s| s.what.clone())
+            .unwrap_or_default();
+        let rendered: Vec<String> = chain
+            .iter()
+            .map(|&k| {
+                format!(
+                    "{}::{}",
+                    ws.files[ws.fns[k].file].crate_name,
+                    ws.fns[k].label()
+                )
+            })
+            .collect();
+        out.push(Diagnostic {
+            rule: RuleId::TaintDiscipline,
+            file: file.rel_path.clone(),
+            line: f.line,
+            column: f.column,
+            snippet: file.line_text(f.line).to_string(),
+            message: format!(
+                "`{}` transitively reaches R2-banned `{}` via {}",
+                f.label(),
+                banned,
+                rendered.join(" -> "),
+            ),
+            suggestion: "break the chain: inject the nondeterministic input (time, \
+                         randomness, ordering) as an explicit parameter at the crate \
+                         boundary, or allowlist this function in lint.toml with a \
+                         rationale proving the tainted callee cannot affect results"
+                .to_string(),
+            allowed: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_hop_laundering_through_a_helper_crate_is_flagged() {
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/sim/src/engine.rs",
+                "pub fn step(w: &mut World) { jitter(w); }\n",
+            ),
+            (
+                "crates/bench/src/noise.rs",
+                "pub fn jitter(w: &mut World) { perturb(w); }\n\
+                 fn perturb(w: &mut World) { let _ = rand::thread_rng(); }\n",
+            ),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        let d = &out[0];
+        assert_eq!(d.rule, RuleId::TaintDiscipline);
+        assert_eq!(d.file, "crates/sim/src/engine.rs");
+        assert!(d.message.contains("thread_rng"), "{}", d.message);
+        assert!(
+            d.message
+                .contains("sim::step -> bench::jitter -> bench::perturb"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn direct_uses_are_left_to_r2() {
+        let ws = Workspace::from_sources(&[(
+            "crates/sim/src/engine.rs",
+            "pub fn step() { let _ = std::time::Instant::now(); }\n",
+        )])
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn sources_inside_r2_scope_are_left_to_r2() {
+        // core::helper's Instant is flagged by R2 in core itself;
+        // re-reporting every caller would duplicate one root cause.
+        let ws = Workspace::from_sources(&[
+            (
+                "crates/sim/src/engine.rs",
+                "pub fn step() { helper_now(); }\n",
+            ),
+            (
+                "crates/core/src/time.rs",
+                "pub fn helper_now() { let _ = std::time::Instant::now(); }\n",
+            ),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn non_result_affecting_callers_are_not_flagged() {
+        let ws = Workspace::from_sources(&[(
+            "crates/bench/src/driver.rs",
+            "pub fn run() { now(); }\npub fn now() { let _ = std::time::Instant::now(); }\n",
+        )])
+        .unwrap();
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

@@ -35,6 +35,8 @@ pub struct SourceFile {
     pub ast: syn::File,
     /// Type names annotated `// lint: epoch-guarded` in this file.
     pub epoch_guarded: Vec<String>,
+    /// 1-based lines of `fn` signatures annotated `// lint: alloc-free`.
+    pub alloc_free_lines: Vec<usize>,
 }
 
 impl SourceFile {
@@ -45,6 +47,7 @@ impl SourceFile {
         let lines: Vec<String> = text.lines().map(str::to_string).collect();
         let (crate_name, role) = classify(rel_path);
         let epoch_guarded = scan_epoch_markers(&lines);
+        let alloc_free_lines = scan_alloc_free_markers(&lines);
         Ok(SourceFile {
             rel_path: rel_path.to_string(),
             crate_name,
@@ -52,6 +55,7 @@ impl SourceFile {
             lines,
             ast,
             epoch_guarded,
+            alloc_free_lines,
         })
     }
 
@@ -162,6 +166,39 @@ fn scan_epoch_markers(lines: &[String]) -> Vec<String> {
         }
     }
     guarded
+}
+
+/// Finds `// lint: alloc-free` markers and resolves each to the next
+/// line declaring a `fn` (skipping comments, attributes, and blanks).
+/// The R6 rule certifies the so-annotated function's transitive call
+/// closure as allocation-free.
+fn scan_alloc_free_markers(lines: &[String]) -> Vec<usize> {
+    let mut marked = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("//") else {
+            continue;
+        };
+        let Some(kind) = rest.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        if kind.trim() != "alloc-free" {
+            continue;
+        }
+        for (j, follower) in lines.iter().enumerate().skip(i + 1) {
+            let t = follower.trim();
+            if t.is_empty() || t.starts_with("//") || t.starts_with("#[") {
+                continue;
+            }
+            if t.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .any(|w| w == "fn")
+            {
+                marked.push(j + 1);
+            }
+            break;
+        }
+    }
+    marked
 }
 
 /// Extracts `Foo` from a line starting a `struct Foo` / `enum Foo` /

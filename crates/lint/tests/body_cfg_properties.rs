@@ -1,0 +1,200 @@
+//! Property tests for the flow-sensitive backbone: arbitrary statement
+//! soup must lex, parse, and lower to a well-formed CFG without panics,
+//! and the dataflow must honour its two structural contracts — a fact
+//! generated everywhere is never reported missing, and every statement
+//! is either reachable from entry or explicitly listed as unreachable.
+//!
+//! The generator is opcode-driven (the proptest stand-in has no
+//! recursive strategies): a byte script deterministically expands into
+//! nested ifs, matches, loops, labeled blocks, let-else, `?`, and
+//! opaque leaves like closures, so shrinking a failing script shrinks
+//! the program.
+
+use ecds_lint::cfg::{Cfg, EdgeKind, NodeKind, ENTRY, EXIT};
+use proptest::prelude::*;
+
+/// Expands an opcode script into a statement block. Consumes one opcode
+/// per decision; an exhausted script ends the block, so every script is
+/// finite and total.
+fn emit_block(ops: &mut std::slice::Iter<'_, u8>, depth: usize, out: &mut String) {
+    let n_stmts = match ops.next() {
+        Some(&op) => (op % 4) as usize + 1,
+        None => return,
+    };
+    for _ in 0..n_stmts {
+        let Some(&op) = ops.next() else { return };
+        let kind = if depth >= 3 { op % 8 } else { op % 16 };
+        match kind {
+            0 => out.push_str("self.epoch += 1;\n"),
+            1 => out.push_str("let x = helper(a, b);\n"),
+            2 => out.push_str("let v = fallible()?;\n"),
+            3 => out.push_str("return;\n"),
+            4 => out.push_str("break;\n"),
+            5 => out.push_str("continue;\n"),
+            6 => out.push_str("let f = |q: u64| q + 1;\n"),
+            7 => out.push_str("unsafe { core::hint::black_box(0) };\n"),
+            8 => {
+                out.push_str("if a > b {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("} else {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\n");
+            }
+            9 => {
+                out.push_str("if a == b {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\n");
+            }
+            10 => {
+                out.push_str("match opt {\nSome(q) => {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\nNone => {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\n}\n");
+            }
+            11 => {
+                out.push_str("while a < b {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\n");
+            }
+            12 => {
+                out.push_str("loop {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("break;\n}\n");
+            }
+            13 => {
+                out.push_str("for i in 0..a {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\n");
+            }
+            14 => {
+                out.push_str("'blk: {\n");
+                emit_block(ops, depth + 1, out);
+                out.push_str("}\n");
+            }
+            _ => {
+                out.push_str("let Some(q) = opt else {\nreturn;\n};\n");
+            }
+        }
+    }
+}
+
+/// Parses the generated body through the same pipeline the engine uses
+/// and returns the lowered CFG.
+fn cfg_for_script(script: &[u8]) -> Cfg {
+    let mut body = String::new();
+    emit_block(&mut script.iter(), 0, &mut body);
+    let src = format!("pub fn generated(a: u64, b: u64, opt: Option<u64>) {{\n{body}}}\n");
+    // Everything the generator emits is lexically valid Rust, so a lex or
+    // parse failure is itself a bug worth failing the property over.
+    let file = syn::parse_file(&src)
+        .unwrap_or_else(|e| panic!("generated source failed to parse: {e}\n{src}"));
+    let syn::Item::Fn(f) = &file.items[0] else {
+        panic!("expected a function item");
+    };
+    let body_tokens = f.body.as_ref().expect("generated fn has a body");
+    let block = syn::body::parse_block(body_tokens.tokens(), f.span)
+        .unwrap_or_else(|e| panic!("body parse failed: {e}\n{src}"));
+    Cfg::build(&block)
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=250, 0..96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lex → parse → lower is total: no panics, and the CFG's edges only
+    /// reference real nodes, with the synthetic endpoints in place.
+    #[test]
+    fn lowering_is_total_and_well_formed(script in arb_script()) {
+        let cfg = cfg_for_script(&script);
+        prop_assert!(cfg.nodes.len() >= 2);
+        prop_assert_eq!(cfg.nodes[ENTRY].kind, NodeKind::Entry);
+        prop_assert_eq!(cfg.nodes[EXIT].kind, NodeKind::Exit);
+        for e in &cfg.edges {
+            prop_assert!(e.from < cfg.nodes.len());
+            prop_assert!(e.to < cfg.nodes.len());
+        }
+    }
+
+    /// The must-analysis contract: a fact that every node generates can
+    /// never be reported missing on any exit path.
+    #[test]
+    fn all_generating_bodies_have_no_missed_exits(script in arb_script()) {
+        let cfg = cfg_for_script(&script);
+        let gen = vec![true; cfg.nodes.len()];
+        prop_assert!(cfg.missed_exits(&gen).is_empty());
+    }
+
+    /// Every reported miss sits on a real edge into the exit node, with
+    /// a matching early/sequential kind — the rule layer anchors its
+    /// diagnostics on this.
+    #[test]
+    fn missed_exits_are_anchored_on_exit_edges(script in arb_script()) {
+        let cfg = cfg_for_script(&script);
+        let gen = vec![false; cfg.nodes.len()];
+        for miss in cfg.missed_exits(&gen) {
+            prop_assert!(miss.node < cfg.nodes.len());
+            prop_assert!(
+                cfg.edges.iter().any(|e| e.from == miss.node
+                    && e.to == EXIT
+                    && e.kind == miss.kind),
+                "miss at node {} ({:?}) has no matching exit edge",
+                miss.node, miss.kind
+            );
+        }
+    }
+
+    /// Every statement is accounted for: reachable from entry, or
+    /// surfaced by `unreachable()` — nothing silently disappears.
+    #[test]
+    fn every_statement_is_reachable_or_flagged(script in arb_script()) {
+        let cfg = cfg_for_script(&script);
+        let mut reached = vec![false; cfg.nodes.len()];
+        reached[ENTRY] = true;
+        let mut work = vec![ENTRY];
+        while let Some(n) = work.pop() {
+            for e in cfg.edges.iter().filter(|e| e.from == n) {
+                if !reached[e.to] {
+                    reached[e.to] = true;
+                    work.push(e.to);
+                }
+            }
+        }
+        let flagged = cfg.unreachable();
+        for (i, node) in cfg.nodes.iter().enumerate() {
+            if matches!(node.kind, NodeKind::Entry | NodeKind::Exit | NodeKind::Join) {
+                continue;
+            }
+            prop_assert_eq!(
+                !reached[i],
+                flagged.contains(&i),
+                "node {} ({:?}) reachability and unreachable() disagree",
+                i, node.kind
+            );
+        }
+    }
+
+    /// `?` propagation is modelled with early edges: a body whose only
+    /// bump comes after a `?` must report an Early miss.
+    #[test]
+    fn question_marks_produce_early_exit_edges(prefix in arb_script()) {
+        let mut body = String::new();
+        emit_block(&mut prefix.iter(), 1, &mut body);
+        let src = format!(
+            "pub fn generated(a: u64, b: u64, opt: Option<u64>) {{\n{body}\
+             let v = fallible()?;\nself.epoch += 1;\n}}\n"
+        );
+        let file = syn::parse_file(&src).expect("parses");
+        let syn::Item::Fn(f) = &file.items[0] else { panic!("fn item") };
+        let block = syn::body::parse_block(f.body.as_ref().unwrap().tokens(), f.span)
+            .expect("body parses");
+        let cfg = Cfg::build(&block);
+        prop_assert!(
+            cfg.edges.iter().any(|e| e.kind == EdgeKind::Early && e.to == EXIT),
+            "no early exit edge despite a `?` in the body:\n{src}"
+        );
+    }
+}

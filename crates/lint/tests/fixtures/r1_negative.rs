@@ -13,10 +13,12 @@ impl Ledger {
         self.epoch += 1;
     }
 
-    /// Conditional bump still counts (R1 is not path-sensitive).
+    /// A bump on every exit path satisfies R1v2, branches included.
     pub fn pop(&mut self) -> Option<u64> {
         let out = self.entries.pop();
         if out.is_some() {
+            self.epoch += 1;
+        } else {
             self.epoch += 1;
         }
         out

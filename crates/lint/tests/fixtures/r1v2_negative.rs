@@ -1,0 +1,65 @@
+//! R1v2 fixture: branchy mutators that bump on *every* exit path — the
+//! flow-sensitive pass must accept all of them.
+
+pub struct CoreState {
+    epoch: u64,
+    queued: Vec<u64>,
+    executing: Option<u64>,
+}
+
+impl CoreState {
+    /// Early return, but both paths bump.
+    pub fn absorb(&mut self, v: u64) -> bool {
+        if v == 0 {
+            self.epoch += 1;
+            return false;
+        }
+        self.queued.push(v);
+        self.epoch += 1;
+        true
+    }
+
+    /// Every match arm bumps before falling through.
+    pub fn apply(&mut self, op: Op) {
+        match op {
+            Op::Push(v) => {
+                self.queued.push(v);
+                self.epoch += 1;
+            }
+            Op::Clear => {
+                self.queued.clear();
+                self.epoch += 1;
+            }
+        }
+    }
+
+    /// The bump precedes the fallible step, so the `?` escape carries it.
+    pub fn absorb_str(&mut self, s: &str) -> Result<(), std::num::ParseIntError> {
+        self.epoch += 1;
+        let v: u64 = s.parse()?;
+        self.queued.push(v);
+        Ok(())
+    }
+
+    /// A loop that always runs its bump before any break.
+    pub fn drain(&mut self) -> u64 {
+        let mut count = 0;
+        self.epoch += 1;
+        loop {
+            if self.queued.pop().is_none() {
+                break;
+            }
+            count += 1;
+        }
+        self.executing = None;
+        count
+    }
+}
+
+/// Operations for the match-arm case.
+pub enum Op {
+    /// Enqueue a value.
+    Push(u64),
+    /// Drop the queue.
+    Clear,
+}

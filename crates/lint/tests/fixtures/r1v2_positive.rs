@@ -1,0 +1,72 @@
+//! R1v2 fixture: branchy mutators whose bump exists but does not cover
+//! every exit path. v1 of the rule (bump-anywhere) accepted all of these;
+//! the flow-sensitive CFG pass must flag exactly the escaping exits.
+
+pub struct CoreState {
+    epoch: u64,
+    queued: Vec<u64>,
+    executing: Option<u64>,
+}
+
+impl CoreState {
+    /// VIOLATION (fall-through): bumps only when the pop succeeded, so
+    /// the empty-queue path reaches the trailing expression unbumped.
+    /// Sound in reality (nothing mutated), but the rule is a must-
+    /// analysis — this exact shape is audited in the real `pop_queued`.
+    pub fn pop_queued(&mut self) -> Option<u64> {
+        let popped = self.queued.pop();
+        if popped.is_some() {
+            self.executing = popped;
+            self.epoch += 1;
+        }
+        popped
+    }
+
+    /// VIOLATION (early return): the guard path returns before any bump,
+    /// yet a caller cannot tell it apart from the mutating path.
+    pub fn absorb(&mut self, v: u64) -> bool {
+        if v == 0 {
+            return false;
+        }
+        self.queued.push(v);
+        self.epoch += 1;
+        true
+    }
+
+    /// VIOLATION (unbumped match arm): two arms mutate and bump, the
+    /// third mutates without bumping.
+    pub fn apply(&mut self, op: Op) {
+        match op {
+            Op::Push(v) => {
+                self.queued.push(v);
+                self.epoch += 1;
+            }
+            Op::Clear => {
+                self.queued.clear();
+                self.epoch += 1;
+            }
+            Op::Swap(v) => {
+                self.executing = Some(v);
+            }
+        }
+    }
+
+    /// VIOLATION (`?` escape): the fallible parse may propagate out
+    /// before the mutation is stamped.
+    pub fn absorb_str(&mut self, s: &str) -> Result<(), std::num::ParseIntError> {
+        let v: u64 = s.parse()?;
+        self.queued.push(v);
+        self.epoch += 1;
+        Ok(())
+    }
+}
+
+/// Operations for the match-arm case.
+pub enum Op {
+    /// Enqueue a value.
+    Push(u64),
+    /// Drop the queue.
+    Clear,
+    /// Replace the executing slot.
+    Swap(u64),
+}

@@ -1,0 +1,33 @@
+//! R6 fixture: a certified kernel whose whole closure works in place —
+//! the rule must accept it, including the slice-only helpers.
+
+/// The certified entry point.
+// lint: alloc-free
+pub fn evaluate_kernel(out_buf: &mut [f64], weights: &[f64]) {
+    for (o, w) in out_buf.iter_mut().zip(weights) {
+        *o += scale(*w);
+    }
+    normalize(out_buf);
+}
+
+/// In-place arithmetic only.
+fn scale(w: f64) -> f64 {
+    w * 0.5
+}
+
+/// Writes through the borrowed slice; nothing grows.
+fn normalize(out_buf: &mut [f64]) {
+    let total: f64 = out_buf.iter().sum();
+    if total > 0.0 {
+        for v in out_buf.iter_mut() {
+            *v /= total;
+        }
+    }
+}
+
+/// Unmarked code allocates freely.
+pub fn warm_up(n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0.0);
+    v
+}

@@ -1,0 +1,31 @@
+//! R6 fixture: a certified alloc-free kernel whose *transitive callee*
+//! allocates. The direct body is clean — the violation only falls out of
+//! the call-graph closure.
+
+/// The certified entry point: no allocation in its own body.
+// lint: alloc-free
+pub fn evaluate_kernel(out_buf: &mut [f64], weights: &[f64]) {
+    for (o, w) in out_buf.iter_mut().zip(weights) {
+        *o += accumulate(*w);
+    }
+    finalize(out_buf);
+}
+
+/// First hop: still clean.
+fn accumulate(w: f64) -> f64 {
+    w * 0.5
+}
+
+/// VIOLATION: second hop pushes into a fresh Vec on the hot path.
+fn finalize(out_buf: &mut [f64]) {
+    let mut staged = Vec::with_capacity(out_buf.len());
+    for v in out_buf.iter() {
+        staged.push(*v);
+    }
+    out_buf.copy_from_slice(&staged);
+}
+
+/// Not flagged: outside the certified closure, allocation is fine.
+pub fn setup() -> Vec<f64> {
+    vec![0.0; 64]
+}

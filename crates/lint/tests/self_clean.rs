@@ -1,8 +1,11 @@
 //! The workspace must pass its own lint: zero unallowlisted violations,
-//! zero stale allowlist entries, zero parse errors. This is the test that
-//! turns DESIGN.md §9 from prose into a gate — reintroducing a `HashMap`
-//! into `crates/core`, deleting an epoch bump in `crates/sim/src/state.rs`,
-//! or letting a `lint.toml` entry go stale fails `cargo test`.
+//! zero stale or ambiguous allowlist entries, zero parse errors, and at
+//! least 95% of function bodies analyzed flow-sensitively. This is the
+//! test that turns DESIGN.md §9/§14 from prose into a gate —
+//! reintroducing a `HashMap` into `crates/core`, deleting an epoch bump
+//! on any exit path of `crates/sim/src/state.rs`, allocating inside a
+//! `// lint: alloc-free` closure, or letting a `lint.toml` entry go
+//! stale or ambiguous fails `cargo test`.
 
 use std::path::Path;
 
@@ -33,6 +36,17 @@ fn workspace_is_lint_clean() {
         result.parse_errors.is_empty(),
         "parse errors: {:#?}",
         result.parse_errors
+    );
+    assert!(
+        result.ambiguous_entries.is_empty(),
+        "ambiguous lint.toml entries (pin with `line = N`): {:#?}",
+        result.ambiguous_entries
+    );
+    assert!(
+        result.coverage_ok(),
+        "body coverage {}‰ below the 95% floor; skipped: {:#?}",
+        result.coverage_permille(),
+        result.skipped_bodies
     );
     assert!(result.is_clean());
     // The scan actually covered the workspace (118 files at the time of

@@ -306,6 +306,7 @@ impl PmfScratch {
 /// reduce to `policy.max_impulses`, leaving the result in `out`. All
 /// buffers are caller-owned and reused; no allocation happens once they
 /// have grown to the workload's high-water mark.
+// lint: alloc-free
 #[allow(clippy::too_many_arguments)]
 fn fused_convolve_reduce(
     a: &[Impulse],

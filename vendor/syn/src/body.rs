@@ -1,0 +1,1074 @@
+//! Statement-level parsing of function bodies (see DESIGN.md §14).
+//!
+//! The item-level parser in the crate root keeps function bodies as raw
+//! token streams; this module turns such a stream into a [`Block`] of
+//! spanned statements with structured control flow — `if`/`match`/
+//! `loop`/`while`/`for`/`return`/`break`/`continue`, `let`-`else`, and
+//! `?` occurrence counts — which is exactly what `ecds-lint` needs to
+//! build per-function control-flow graphs.
+//!
+//! The grammar modeled here is deliberately partial. Anything that is
+//! not control flow is kept as an opaque [`ExprLeaf`] token run, so the
+//! parser is total over well-formed bodies and degrades to leaves rather
+//! than guessing. Known approximations (documented in DESIGN.md §14):
+//!
+//! - A structured expression embedded mid-leaf (`1 + if c { a } else
+//!   { b }`) stays opaque; its branches are not split into CFG nodes.
+//! - `?` operators are counted anywhere inside a leaf, including inside
+//!   closure bodies, so closures can introduce spurious early-exit
+//!   edges (an over-approximation that errs toward flagging).
+//! - Nested items inside bodies are kept opaque and contribute no
+//!   control flow.
+//!
+//! Inputs the parser cannot shape (a `match` arm without `=>`, an `if`
+//! without a brace body) produce an [`Error`] so the caller can count
+//! the body as skipped instead of silently certifying it.
+
+use proc_macro2::{Delimiter, Spacing, Span, TokenTree};
+
+use crate::{Error, Result};
+
+/// A `{ ... }` block: a sequence of statements.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+    /// The block's source location (first statement, or the enclosing
+    /// span for an empty block).
+    pub span: Span,
+}
+
+/// One statement in a block.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A `let` binding, possibly `let ... else { ... }`.
+    Let(StmtLet),
+    /// An expression statement or trailing expression.
+    Expr(StmtExpr),
+    /// A nested item (`fn`, `struct`, `use`, ...), kept opaque.
+    Item(StmtItem),
+}
+
+impl Stmt {
+    /// The statement's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let(s) => s.span,
+            Stmt::Expr(s) => s.expr.span(),
+            Stmt::Item(s) => s.span,
+        }
+    }
+}
+
+/// A `let` statement. Pattern and type tokens are discarded (they
+/// cannot contain expressions relevant to flow analysis); the
+/// initializer is parsed as an expression.
+#[derive(Debug, Clone)]
+pub struct StmtLet {
+    /// The initializer, if present (`let x;` has none).
+    pub init: Option<Box<Expr>>,
+    /// The diverging `else { ... }` block of a `let`-`else`.
+    pub else_block: Option<Block>,
+    /// Source location of the `let` keyword.
+    pub span: Span,
+}
+
+/// An expression statement.
+#[derive(Debug, Clone)]
+pub struct StmtExpr {
+    /// The expression.
+    pub expr: Expr,
+    /// Whether a `;` followed (a trailing expression has none).
+    pub semi: bool,
+}
+
+/// A nested item inside a body, kept as opaque tokens.
+#[derive(Debug, Clone)]
+pub struct StmtItem {
+    /// Every token of the item.
+    pub tokens: Vec<TokenTree>,
+    /// Source location of the item's first token.
+    pub span: Span,
+}
+
+/// An expression, modeled only as far as control flow requires.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// `if cond { ... } else ...`, including `if let`.
+    If(ExprIf),
+    /// `match scrutinee { arms }`.
+    Match(ExprMatch),
+    /// `while cond { ... }`, including `while let`.
+    While(ExprWhile),
+    /// `loop { ... }`.
+    Loop(ExprLoop),
+    /// `for pat in iter { ... }`.
+    ForLoop(ExprFor),
+    /// A plain, `unsafe`, or labeled block used as an expression.
+    Block(ExprBlock),
+    /// `return expr?`.
+    Return(ExprReturn),
+    /// `break 'label expr?`.
+    Break(ExprBreak),
+    /// `continue 'label?`.
+    Continue(ExprContinue),
+    /// Any other expression, kept as an opaque token run.
+    Leaf(ExprLeaf),
+}
+
+impl Expr {
+    /// The expression's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::If(e) => e.span,
+            Expr::Match(e) => e.span,
+            Expr::While(e) => e.span,
+            Expr::Loop(e) => e.span,
+            Expr::ForLoop(e) => e.span,
+            Expr::Block(e) => e.span,
+            Expr::Return(e) => e.span,
+            Expr::Break(e) => e.span,
+            Expr::Continue(e) => e.span,
+            Expr::Leaf(e) => e.span,
+        }
+    }
+}
+
+/// An `if` expression.
+#[derive(Debug, Clone)]
+pub struct ExprIf {
+    /// Condition tokens (for `if let`, the full `let pat = scrutinee`).
+    pub cond: ExprLeaf,
+    /// The `then` block.
+    pub then_branch: Block,
+    /// `else` branch: another [`Expr::If`] or an [`Expr::Block`].
+    pub else_branch: Option<Box<Expr>>,
+    /// Source location of the `if` keyword.
+    pub span: Span,
+}
+
+/// A `match` expression.
+#[derive(Debug, Clone)]
+pub struct ExprMatch {
+    /// The scrutinee tokens.
+    pub scrutinee: ExprLeaf,
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+    /// Source location of the `match` keyword.
+    pub span: Span,
+}
+
+/// One `pat (if guard)? => body` arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Pattern and guard tokens before `=>`, kept together.
+    pub prelude: ExprLeaf,
+    /// The arm body.
+    pub body: Box<Expr>,
+    /// Source location of the arm's first token.
+    pub span: Span,
+}
+
+/// A `while` loop.
+#[derive(Debug, Clone)]
+pub struct ExprWhile {
+    /// Condition tokens (for `while let`, the full binding).
+    pub cond: ExprLeaf,
+    /// The loop body.
+    pub body: Block,
+    /// The loop label, without the leading `'`.
+    pub label: Option<String>,
+    /// Source location of the `while` keyword.
+    pub span: Span,
+}
+
+/// A `loop`.
+#[derive(Debug, Clone)]
+pub struct ExprLoop {
+    /// The loop body.
+    pub body: Block,
+    /// The loop label, without the leading `'`.
+    pub label: Option<String>,
+    /// Source location of the `loop` keyword.
+    pub span: Span,
+}
+
+/// A `for` loop.
+#[derive(Debug, Clone)]
+pub struct ExprFor {
+    /// The iterator expression tokens after `in`.
+    pub iter: ExprLeaf,
+    /// The loop body.
+    pub body: Block,
+    /// The loop label, without the leading `'`.
+    pub label: Option<String>,
+    /// Source location of the `for` keyword.
+    pub span: Span,
+}
+
+/// A block expression (`{ ... }`, `unsafe { ... }`, `'a: { ... }`).
+#[derive(Debug, Clone)]
+pub struct ExprBlock {
+    /// The block.
+    pub block: Block,
+    /// The block label, without the leading `'`.
+    pub label: Option<String>,
+    /// Source location of the block's first token.
+    pub span: Span,
+}
+
+/// A `return` expression.
+#[derive(Debug, Clone)]
+pub struct ExprReturn {
+    /// The returned value, if any.
+    pub value: Option<Box<Expr>>,
+    /// Source location of the `return` keyword.
+    pub span: Span,
+}
+
+/// A `break` expression.
+#[derive(Debug, Clone)]
+pub struct ExprBreak {
+    /// The target label, without the leading `'`.
+    pub label: Option<String>,
+    /// The break value, if any.
+    pub value: Option<Box<Expr>>,
+    /// Source location of the `break` keyword.
+    pub span: Span,
+}
+
+/// A `continue` expression.
+#[derive(Debug, Clone)]
+pub struct ExprContinue {
+    /// The target label, without the leading `'`.
+    pub label: Option<String>,
+    /// Source location of the `continue` keyword.
+    pub span: Span,
+}
+
+/// An opaque expression: a token run with its `?` occurrences counted.
+#[derive(Debug, Clone)]
+pub struct ExprLeaf {
+    /// The raw tokens, groups included.
+    pub tokens: Vec<TokenTree>,
+    /// How many `?` operators occur at any nesting depth. Each adds a
+    /// potential early function exit.
+    pub tries: usize,
+    /// Source location of the first token (or the enclosing context for
+    /// an empty run).
+    pub span: Span,
+}
+
+impl ExprLeaf {
+    fn from_tokens(tokens: Vec<TokenTree>, fallback: Span) -> Self {
+        let span = tokens.first().map(|t| t.span()).unwrap_or(fallback);
+        let tries = count_tries(&tokens);
+        ExprLeaf {
+            tokens,
+            tries,
+            span,
+        }
+    }
+}
+
+/// Counts `?` puncts at every nesting depth.
+fn count_tries(tokens: &[TokenTree]) -> usize {
+    tokens
+        .iter()
+        .map(|t| match t {
+            TokenTree::Punct(p) if p.as_char() == '?' => 1,
+            TokenTree::Group(g) => count_tries(g.tokens()),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Parses the token stream of a function body (the contents of its
+/// brace group) into a [`Block`]. `span` anchors empty blocks and
+/// end-of-input errors; the function signature's span works well.
+pub fn parse_block(tokens: &[TokenTree], span: Span) -> Result<Block> {
+    let mut p = BodyParser { tokens, pos: 0 };
+    p.parse_stmts(span)
+}
+
+/// Item-introducing keywords that start a nested item statement.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "trait",
+    "mod",
+    "use",
+    "static",
+    "type",
+    "union",
+    "macro_rules",
+];
+
+struct BodyParser<'a> {
+    tokens: &'a [TokenTree],
+    pos: usize,
+}
+
+impl<'a> BodyParser<'a> {
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn here_span(&self, fallback: Span) -> Span {
+        self.peek().map(|t| t.span()).unwrap_or(fallback)
+    }
+
+    fn error(&self, message: impl Into<String>, fallback: Span) -> Error {
+        Error {
+            message: message.into(),
+            span: self.here_span(fallback),
+        }
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.as_str() == word && !i.is_raw())
+    }
+
+    fn is_ident_at(&self, offset: usize, word: &str) -> bool {
+        matches!(
+            self.peek_at(offset),
+            Some(TokenTree::Ident(i)) if i.as_str() == word && !i.is_raw()
+        )
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_brace(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace
+        )
+    }
+
+    /// Consumes `#[...]` attribute pairs; their tokens carry no control
+    /// flow and are dropped (the raw body stream still holds them for
+    /// token-level rules).
+    fn skip_outer_attrs(&mut self) {
+        while self.is_punct('#')
+            && matches!(
+                self.peek_at(1),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+            )
+        {
+            self.bump();
+            self.bump();
+        }
+    }
+
+    fn parse_stmts(&mut self, span: Span) -> Result<Block> {
+        let mut stmts = Vec::new();
+        let block_span = self.here_span(span);
+        while self.peek().is_some() {
+            if self.is_punct(';') {
+                self.bump();
+                continue;
+            }
+            self.skip_outer_attrs();
+            if self.peek().is_none() {
+                break;
+            }
+            if let Some(item) = self.try_parse_item_stmt() {
+                stmts.push(Stmt::Item(item));
+                continue;
+            }
+            if self.is_ident("let") {
+                stmts.push(Stmt::Let(self.parse_let(span)?));
+                continue;
+            }
+            let expr = self.parse_expr(false, span)?;
+            let semi = if self.is_punct(';') {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            stmts.push(Stmt::Expr(StmtExpr { expr, semi }));
+        }
+        let span = stmts_span(&stmts).unwrap_or(block_span);
+        Ok(Block { stmts, span })
+    }
+
+    /// Recognizes a nested item at statement position and consumes it
+    /// to its natural end (`;` or a brace body). Returns `None` when
+    /// the tokens here are an expression instead.
+    fn try_parse_item_stmt(&mut self) -> Option<StmtItem> {
+        let first = self.peek()?;
+        let kw = match first {
+            TokenTree::Ident(i) if !i.is_raw() => i.as_str(),
+            _ => return None,
+        };
+        let is_item = match kw {
+            "pub" => true,
+            "const" | "async" | "unsafe" | "extern" => {
+                // Qualifier chains end in `fn` for items; `const {`,
+                // `unsafe {`, and `async {` blocks are expressions.
+                let mut off = 1;
+                while matches!(
+                    self.peek_at(off),
+                    Some(TokenTree::Ident(i))
+                        if matches!(i.as_str(), "const" | "async" | "unsafe" | "move" | "extern")
+                ) || matches!(self.peek_at(off), Some(TokenTree::Literal(_)))
+                {
+                    off += 1;
+                }
+                self.is_ident_at(off, "fn")
+                    || (kw == "const" && matches!(self.peek_at(1), Some(TokenTree::Ident(_))))
+                    || (kw == "extern" && self.is_ident_at(1, "crate"))
+            }
+            "macro_rules" => {
+                matches!(self.peek_at(1), Some(TokenTree::Punct(p)) if p.as_char() == '!')
+            }
+            "union" => matches!(self.peek_at(1), Some(TokenTree::Ident(_))),
+            _ => ITEM_KEYWORDS.contains(&kw),
+        };
+        if !is_item {
+            return None;
+        }
+        let span = first.span();
+        let mut tokens = Vec::new();
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ';' => {
+                    tokens.push(self.bump().expect("peeked").clone());
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    tokens.push(self.bump().expect("peeked").clone());
+                    break;
+                }
+                _ => tokens.push(self.bump().expect("peeked").clone()),
+            }
+        }
+        Some(StmtItem { tokens, span })
+    }
+
+    fn parse_let(&mut self, fallback: Span) -> Result<StmtLet> {
+        let span = self.here_span(fallback);
+        self.bump(); // `let`
+                     // Pattern and optional type run to a standalone `=` (or `;` for
+                     // an uninitialized binding). Multi-char operators lex with
+                     // joint spacing, so a lone `=` is unambiguous.
+        let mut prev_joint = false;
+        loop {
+            match self.peek() {
+                None => {
+                    return Ok(StmtLet {
+                        init: None,
+                        else_block: None,
+                        span,
+                    })
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    self.bump();
+                    return Ok(StmtLet {
+                        init: None,
+                        else_block: None,
+                        span,
+                    });
+                }
+                Some(TokenTree::Punct(p))
+                    if p.as_char() == '=' && p.spacing() == Spacing::Alone && !prev_joint =>
+                {
+                    self.bump();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) => {
+                    prev_joint = p.spacing() == Spacing::Joint;
+                    self.bump();
+                }
+                Some(_) => {
+                    prev_joint = false;
+                    self.bump();
+                }
+            }
+        }
+        let init = self.parse_expr_stop_else(span)?;
+        // `let ... else { diverge }`: what remains before `;` must be
+        // exactly `else` + a brace block.
+        let else_block = if self.is_ident("else") {
+            self.bump();
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g_span = g.span();
+                    let inner = parse_block(g.tokens(), g_span)?;
+                    self.bump();
+                    Some(inner)
+                }
+                _ => return Err(self.error("expected `{` after `let ... else`", span)),
+            }
+        } else {
+            None
+        };
+        if self.is_punct(';') {
+            self.bump();
+        }
+        Ok(StmtLet {
+            init: Some(Box::new(init)),
+            else_block,
+            span,
+        })
+    }
+
+    /// Parses a let-initializer: like [`parse_expr`], but an opaque
+    /// leaf also stops at a sibling-level bare `else` so `let`-`else`
+    /// can be recognized by the caller.
+    fn parse_expr_stop_else(&mut self, fallback: Span) -> Result<Expr> {
+        if self.starts_structured() {
+            self.parse_expr(false, fallback)
+        } else {
+            Ok(Expr::Leaf(self.parse_leaf(false, true, fallback)))
+        }
+    }
+
+    fn starts_structured(&self) -> bool {
+        if self.is_brace() {
+            return true;
+        }
+        match self.peek() {
+            Some(TokenTree::Ident(i)) if !i.is_raw() => matches!(
+                i.as_str(),
+                "if" | "match"
+                    | "while"
+                    | "loop"
+                    | "for"
+                    | "return"
+                    | "break"
+                    | "continue"
+                    | "unsafe"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                // A label: `'name : loop/while/for/{`.
+                matches!(self.peek_at(1), Some(TokenTree::Ident(_)))
+                    && matches!(self.peek_at(2), Some(TokenTree::Punct(q)) if q.as_char() == ':')
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses one expression. `stop_comma` ends opaque leaves at a
+    /// sibling-level `,` (match-arm position).
+    fn parse_expr(&mut self, stop_comma: bool, fallback: Span) -> Result<Expr> {
+        self.skip_outer_attrs();
+        // Leading label.
+        let mut label = None;
+        if let (Some(TokenTree::Punct(q)), Some(TokenTree::Ident(name))) =
+            (self.peek(), self.peek_at(1))
+        {
+            if q.as_char() == '\''
+                && matches!(self.peek_at(2), Some(TokenTree::Punct(c)) if c.as_char() == ':')
+                && (self.is_ident_at(3, "loop")
+                    || self.is_ident_at(3, "while")
+                    || self.is_ident_at(3, "for")
+                    || matches!(
+                        self.peek_at(3),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace
+                    ))
+            {
+                label = Some(name.as_str().to_string());
+                self.bump();
+                self.bump();
+                self.bump();
+            }
+        }
+
+        if self.is_ident("if") {
+            return self.parse_if(fallback);
+        }
+        if self.is_ident("match") {
+            return self.parse_match(fallback);
+        }
+        if self.is_ident("while") {
+            let span = self.here_span(fallback);
+            self.bump();
+            let cond = self.parse_cond(span)?;
+            let body = self.expect_block(span)?;
+            return Ok(Expr::While(ExprWhile {
+                cond,
+                body,
+                label,
+                span,
+            }));
+        }
+        if self.is_ident("loop") {
+            let span = self.here_span(fallback);
+            self.bump();
+            let body = self.expect_block(span)?;
+            return Ok(Expr::Loop(ExprLoop { body, label, span }));
+        }
+        if self.is_ident("for") {
+            let span = self.here_span(fallback);
+            self.bump();
+            // Pattern runs to the sibling-level `in` keyword.
+            loop {
+                match self.peek() {
+                    None => return Err(self.error("`for` without `in`", span)),
+                    Some(TokenTree::Ident(i)) if i.as_str() == "in" && !i.is_raw() => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+            let iter_tokens = self.take_until_sibling_brace(span)?;
+            let iter = ExprLeaf::from_tokens(iter_tokens, span);
+            let body = self.expect_block(span)?;
+            return Ok(Expr::ForLoop(ExprFor {
+                iter,
+                body,
+                label,
+                span,
+            }));
+        }
+        if self.is_ident("return") {
+            let span = self.here_span(fallback);
+            self.bump();
+            let value = self.parse_trailing_value(stop_comma, span)?;
+            return Ok(Expr::Return(ExprReturn { value, span }));
+        }
+        if self.is_ident("break") {
+            let span = self.here_span(fallback);
+            self.bump();
+            let target = self.parse_label_ref();
+            let value = self.parse_trailing_value(stop_comma, span)?;
+            return Ok(Expr::Break(ExprBreak {
+                label: target,
+                value,
+                span,
+            }));
+        }
+        if self.is_ident("continue") {
+            let span = self.here_span(fallback);
+            self.bump();
+            let target = self.parse_label_ref();
+            return Ok(Expr::Continue(ExprContinue {
+                label: target,
+                span,
+            }));
+        }
+        if self.is_ident("unsafe")
+            && matches!(
+                self.peek_at(1),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace
+            )
+        {
+            let span = self.here_span(fallback);
+            self.bump();
+            let block = self.expect_block(span)?;
+            return Ok(Expr::Block(ExprBlock { block, label, span }));
+        }
+        if self.is_brace() {
+            let span = self.here_span(fallback);
+            let block = self.expect_block(span)?;
+            return Ok(Expr::Block(ExprBlock { block, label, span }));
+        }
+        Ok(Expr::Leaf(self.parse_leaf(stop_comma, false, fallback)))
+    }
+
+    fn parse_if(&mut self, fallback: Span) -> Result<Expr> {
+        let span = self.here_span(fallback);
+        self.bump(); // `if`
+        let cond = self.parse_cond(span)?;
+        let then_branch = self.expect_block(span)?;
+        let else_branch = if self.is_ident("else") {
+            self.bump();
+            if self.is_ident("if") {
+                Some(Box::new(self.parse_if(span)?))
+            } else if self.is_brace() {
+                let else_span = self.here_span(span);
+                let block = self.expect_block(span)?;
+                Some(Box::new(Expr::Block(ExprBlock {
+                    block,
+                    label: None,
+                    span: else_span,
+                })))
+            } else {
+                return Err(self.error("expected `if` or `{` after `else`", span));
+            }
+        } else {
+            None
+        };
+        Ok(Expr::If(ExprIf {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        }))
+    }
+
+    fn parse_match(&mut self, fallback: Span) -> Result<Expr> {
+        let span = self.here_span(fallback);
+        self.bump(); // `match`
+        let scrutinee_tokens = self.take_until_sibling_brace(span)?;
+        let scrutinee = ExprLeaf::from_tokens(scrutinee_tokens, span);
+        let body = match self.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                self.bump();
+                g
+            }
+            _ => return Err(self.error("expected `{` after `match` scrutinee", span)),
+        };
+        let mut arm_parser = BodyParser {
+            tokens: body.tokens(),
+            pos: 0,
+        };
+        let mut arms = Vec::new();
+        while arm_parser.peek().is_some() {
+            if arm_parser.is_punct(',') {
+                arm_parser.bump();
+                continue;
+            }
+            arm_parser.skip_outer_attrs();
+            if arm_parser.peek().is_none() {
+                break;
+            }
+            let arm_span = arm_parser.here_span(span);
+            // Pattern + optional guard run to the sibling-level `=>`
+            // (`=` joint, `>` following).
+            let mut prelude = Vec::new();
+            loop {
+                match arm_parser.peek() {
+                    None => {
+                        return Err(arm_parser.error("match arm without `=>`", arm_span));
+                    }
+                    Some(TokenTree::Punct(p))
+                        if p.as_char() == '=' && p.spacing() == Spacing::Joint =>
+                    {
+                        if matches!(
+                            arm_parser.peek_at(1),
+                            Some(TokenTree::Punct(q)) if q.as_char() == '>'
+                        ) && !prelude_last_is_joint_punct(&prelude)
+                        {
+                            arm_parser.bump();
+                            arm_parser.bump();
+                            break;
+                        }
+                        prelude.push(arm_parser.bump().expect("peeked").clone());
+                    }
+                    Some(_) => prelude.push(arm_parser.bump().expect("peeked").clone()),
+                }
+            }
+            let body_expr = arm_parser.parse_expr(true, arm_span)?;
+            arms.push(Arm {
+                prelude: ExprLeaf::from_tokens(prelude, arm_span),
+                body: Box::new(body_expr),
+                span: arm_span,
+            });
+        }
+        Ok(Expr::Match(ExprMatch {
+            scrutinee,
+            arms,
+            span,
+        }))
+    }
+
+    /// Parses the condition of an `if`/`while`, which ends at the first
+    /// sibling-level brace group. `if let` / `while let` patterns may
+    /// themselves contain brace groups (struct patterns), so for `let`
+    /// forms the pattern is first skipped up to its standalone `=`.
+    fn parse_cond(&mut self, fallback: Span) -> Result<ExprLeaf> {
+        let span = self.here_span(fallback);
+        let mut tokens = Vec::new();
+        if self.is_ident("let") {
+            tokens.push(self.bump().expect("peeked").clone());
+            let mut prev_joint = false;
+            loop {
+                match self.peek() {
+                    None => return Err(self.error("unterminated `let` condition", span)),
+                    Some(TokenTree::Punct(p))
+                        if p.as_char() == '=' && p.spacing() == Spacing::Alone && !prev_joint =>
+                    {
+                        tokens.push(self.bump().expect("peeked").clone());
+                        break;
+                    }
+                    Some(TokenTree::Punct(p)) => {
+                        prev_joint = p.spacing() == Spacing::Joint;
+                        tokens.push(self.bump().expect("peeked").clone());
+                    }
+                    Some(_) => {
+                        prev_joint = false;
+                        tokens.push(self.bump().expect("peeked").clone());
+                    }
+                }
+            }
+        }
+        let rest = self.take_until_sibling_brace(span)?;
+        tokens.extend(rest);
+        Ok(ExprLeaf::from_tokens(tokens, span))
+    }
+
+    /// Consumes tokens up to (not including) the first sibling-level
+    /// brace group.
+    fn take_until_sibling_brace(&mut self, fallback: Span) -> Result<Vec<TokenTree>> {
+        let mut tokens = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("expected a `{` block", fallback)),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    return Ok(tokens);
+                }
+                Some(_) => tokens.push(self.bump().expect("peeked").clone()),
+            }
+        }
+    }
+
+    fn expect_block(&mut self, fallback: Span) -> Result<Block> {
+        match self.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g_span = g.span();
+                let block = parse_block(g.tokens(), g_span)?;
+                self.bump();
+                Ok(block)
+            }
+            _ => Err(self.error("expected a `{` block", fallback)),
+        }
+    }
+
+    /// Parses the optional value of `return`/`break`.
+    fn parse_trailing_value(
+        &mut self,
+        stop_comma: bool,
+        fallback: Span,
+    ) -> Result<Option<Box<Expr>>> {
+        match self.peek() {
+            None => Ok(None),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(None),
+            Some(TokenTree::Punct(p)) if stop_comma && p.as_char() == ',' => Ok(None),
+            Some(TokenTree::Ident(i)) if i.as_str() == "else" => Ok(None),
+            _ => Ok(Some(Box::new(self.parse_expr(stop_comma, fallback)?))),
+        }
+    }
+
+    /// Parses a `'label` reference after `break`/`continue`.
+    fn parse_label_ref(&mut self) -> Option<String> {
+        if let (Some(TokenTree::Punct(q)), Some(TokenTree::Ident(name))) =
+            (self.peek(), self.peek_at(1))
+        {
+            if q.as_char() == '\'' && q.spacing() == Spacing::Joint {
+                let label = name.as_str().to_string();
+                self.bump();
+                self.bump();
+                return Some(label);
+            }
+        }
+        None
+    }
+
+    /// Collects an opaque expression run. Stops at a sibling-level `;`,
+    /// end of input, `,` when `stop_comma`, and bare `else` when
+    /// `stop_else` (let-initializer position).
+    fn parse_leaf(&mut self, stop_comma: bool, stop_else: bool, fallback: Span) -> ExprLeaf {
+        let span = self.here_span(fallback);
+        let mut tokens = Vec::new();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => break,
+                Some(TokenTree::Punct(p)) if stop_comma && p.as_char() == ',' => break,
+                Some(TokenTree::Ident(i)) if stop_else && i.as_str() == "else" && !i.is_raw() => {
+                    break;
+                }
+                Some(_) => tokens.push(self.bump().expect("peeked").clone()),
+            }
+        }
+        ExprLeaf::from_tokens(tokens, span)
+    }
+}
+
+fn prelude_last_is_joint_punct(prelude: &[TokenTree]) -> bool {
+    // Guards against `>=`-style runs: the `=` of `>=` is Alone, so the
+    // only risk is a joint punct directly before our candidate `=`,
+    // e.g. the `<` of `<=`... which lexes `<`(Joint) `=`(Alone) and is
+    // already excluded by the Joint requirement on `=` itself. Kept as
+    // a cheap extra guard for exotic operator runs like `>>=`.
+    matches!(
+        prelude.last(),
+        Some(TokenTree::Punct(p)) if p.spacing() == Spacing::Joint
+    )
+}
+
+fn stmts_span(stmts: &[Stmt]) -> Option<Span> {
+    stmts.first().map(|s| s.span())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proc_macro2::TokenStream;
+
+    fn block_of(src: &str) -> Block {
+        let stream: TokenStream = src.parse().expect("lex");
+        parse_block(stream.tokens(), Span::call_site()).expect("parse")
+    }
+
+    #[test]
+    fn flat_statements_parse_as_leaves() {
+        let b = block_of("self.epoch += 1; let x = f(2); x");
+        assert_eq!(b.stmts.len(), 3);
+        assert!(matches!(&b.stmts[0], Stmt::Expr(e) if e.semi));
+        assert!(matches!(&b.stmts[1], Stmt::Let(l) if l.init.is_some()));
+        assert!(matches!(&b.stmts[2], Stmt::Expr(e) if !e.semi));
+    }
+
+    #[test]
+    fn if_else_chains_parse_structured() {
+        let b = block_of("if a { f(); } else if b { g(); } else { h(); }");
+        let Stmt::Expr(s) = &b.stmts[0] else {
+            panic!("expected expr stmt")
+        };
+        let Expr::If(i) = &s.expr else {
+            panic!("expected if")
+        };
+        assert_eq!(i.then_branch.stmts.len(), 1);
+        let Some(els) = &i.else_branch else {
+            panic!("expected else")
+        };
+        let Expr::If(i2) = els.as_ref() else {
+            panic!("expected else-if")
+        };
+        assert!(matches!(i2.else_branch.as_deref(), Some(Expr::Block(_))));
+    }
+
+    #[test]
+    fn if_let_with_struct_pattern_finds_the_body() {
+        let b = block_of("if let Point { x, .. } = p { use_x(x); }");
+        let Stmt::Expr(s) = &b.stmts[0] else {
+            panic!("expected expr stmt")
+        };
+        let Expr::If(i) = &s.expr else {
+            panic!("expected if")
+        };
+        assert_eq!(i.then_branch.stmts.len(), 1);
+        assert!(i
+            .cond
+            .tokens
+            .iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.as_str() == "let")));
+    }
+
+    #[test]
+    fn match_arms_split_at_fat_arrows() {
+        let b =
+            block_of("match x { Some(v) if v >= 3 => use_it(v), None => return Err(e), _ => {} }");
+        let Stmt::Expr(s) = &b.stmts[0] else {
+            panic!("expected expr stmt")
+        };
+        let Expr::Match(m) = &s.expr else {
+            panic!("expected match")
+        };
+        assert_eq!(m.arms.len(), 3);
+        assert!(matches!(m.arms[1].body.as_ref(), Expr::Return(_)));
+        assert!(matches!(m.arms[2].body.as_ref(), Expr::Block(_)));
+    }
+
+    #[test]
+    fn loops_breaks_and_labels_parse() {
+        let b = block_of(
+            "'outer: loop { while cond() { break 'outer; } for x in xs { continue; } break; }",
+        );
+        let Stmt::Expr(s) = &b.stmts[0] else {
+            panic!("expected expr stmt")
+        };
+        let Expr::Loop(l) = &s.expr else {
+            panic!("expected loop")
+        };
+        assert_eq!(l.label.as_deref(), Some("outer"));
+        let Stmt::Expr(w) = &l.body.stmts[0] else {
+            panic!("expected while")
+        };
+        let Expr::While(w) = &w.expr else {
+            panic!("expected while")
+        };
+        let Stmt::Expr(brk) = &w.body.stmts[0] else {
+            panic!("expected break")
+        };
+        let Expr::Break(brk) = &brk.expr else {
+            panic!("expected break")
+        };
+        assert_eq!(brk.label.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn question_marks_are_counted_per_leaf() {
+        let b = block_of("let v = parse(input)?.finish()?; g(v)");
+        let Stmt::Let(l) = &b.stmts[0] else {
+            panic!("expected let")
+        };
+        let Some(init) = &l.init else {
+            panic!("expected init")
+        };
+        let Expr::Leaf(leaf) = init.as_ref() else {
+            panic!("expected leaf")
+        };
+        assert_eq!(leaf.tries, 2);
+    }
+
+    #[test]
+    fn let_else_records_the_diverging_block() {
+        let b = block_of("let Some(x) = opt else { return Err(e); }; use_it(x);");
+        let Stmt::Let(l) = &b.stmts[0] else {
+            panic!("expected let")
+        };
+        assert!(l.init.is_some());
+        let Some(else_block) = &l.else_block else {
+            panic!("expected let-else block")
+        };
+        assert_eq!(else_block.stmts.len(), 1);
+    }
+
+    #[test]
+    fn let_with_if_initializer_keeps_else_with_the_if() {
+        let b = block_of("let x = if c { 1 } else { 2 }; use_it(x);");
+        assert_eq!(b.stmts.len(), 2);
+        let Stmt::Let(l) = &b.stmts[0] else {
+            panic!("expected let")
+        };
+        assert!(l.else_block.is_none());
+        assert!(matches!(l.init.as_deref(), Some(Expr::If(_))));
+    }
+
+    #[test]
+    fn nested_items_stay_opaque() {
+        let b = block_of("fn helper(x: u32) -> u32 { x + 1 } helper(2);");
+        assert_eq!(b.stmts.len(), 2);
+        assert!(matches!(&b.stmts[0], Stmt::Item(_)));
+    }
+
+    #[test]
+    fn spans_anchor_statements_to_source_lines() {
+        let src = "first();\nif c {\n    second();\n}\n";
+        let stream: TokenStream = src.parse().expect("lex");
+        let b = parse_block(stream.tokens(), Span::call_site()).expect("parse");
+        assert_eq!(b.stmts[0].span().start().line, 1);
+        assert_eq!(b.stmts[1].span().start().line, 2);
+    }
+
+    #[test]
+    fn malformed_control_flow_is_an_error_not_a_panic() {
+        let stream: TokenStream = "if cond".parse().expect("lex");
+        assert!(parse_block(stream.tokens(), Span::call_site()).is_err());
+        let stream: TokenStream = "match x".parse().expect("lex");
+        assert!(parse_block(stream.tokens(), Span::call_site()).is_err());
+    }
+}

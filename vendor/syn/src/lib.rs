@@ -26,6 +26,8 @@
 
 #![warn(missing_docs)]
 
+pub mod body;
+
 use std::fmt;
 
 use proc_macro2::{Delimiter, Spacing, Span, TokenStream, TokenTree};
